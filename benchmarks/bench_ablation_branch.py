@@ -1,0 +1,21 @@
+"""Ablation: branch-prediction firewalls (the paper's section 4 discussion
+that real predictors cannot expose hundreds of instructions)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_branch
+
+
+def test_ablation_branch(benchmark, store, cap, save_output):
+    output = run_once(benchmark, ablation_branch, store, cap)
+    save_output("abl-branch", output)
+    for row in output.tables[0].rows:
+        name = row[0]
+        perfect, gshare, bimodal, taken, not_taken = row[1:6]
+        mispred_rate = row[6]
+        # perfect control flow is an upper bound on every predictor
+        for value in (gshare, bimodal, taken, not_taken):
+            assert value <= perfect + 1e-9, name
+        # trained predictors beat or match the worse static choice
+        assert gshare >= min(taken, not_taken) - 1e-9, name
+        assert 0.0 <= mispred_rate <= 100.0

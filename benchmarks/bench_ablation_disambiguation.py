@@ -1,0 +1,23 @@
+"""Ablation: memory disambiguation strategies (paper section 3.1 axis).
+
+Perfect disambiguation is what the paper assumes throughout; the
+conservative no-alias-information model reproduces the pessimistic end of
+the prior limit studies (e.g. Wall 1991) and should cost every workload a
+large factor of its parallelism.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_disambiguation
+
+
+def test_ablation_disambiguation(benchmark, store, cap, save_output, check_shapes):
+    output = run_once(benchmark, ablation_disambiguation, store, cap)
+    save_output("abl-disambiguation", output)
+    for row in output.tables[0].rows:
+        name, perfect, conservative, ratio = row
+        assert conservative <= perfect + 1e-9, name
+    if check_shapes:
+        ratios = {row[0]: row[3] for row in output.tables[0].rows}
+        # losing disambiguation costs the memory-parallel workloads dearly
+        assert sum(1 for value in ratios.values() if value > 3.0) >= 5

@@ -1,0 +1,13 @@
+"""Ablation: operation-latency sensitivity (paper section 3.1 axis)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_latency
+
+
+def test_ablation_latency(benchmark, store, cap, save_output):
+    output = run_once(benchmark, ablation_latency, store, cap)
+    save_output("abl-latency", output)
+    for row in output.tables[0].rows:
+        name, unit, table1, doubled, slow_memory = row
+        assert unit > 0 and table1 > 0 and doubled > 0 and slow_memory > 0

@@ -1,0 +1,18 @@
+"""Ablation: functional-unit limits (generalizes paper Figure 4)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_resources
+
+
+def test_ablation_resources(benchmark, store, cap, save_output):
+    output = run_once(benchmark, ablation_resources, store, cap)
+    save_output("abl-resources", output)
+    for row in output.tables[0].rows:
+        name, series = row[0], row[1:]
+        # AP is bounded by the FU count and monotone in it
+        for count, value in zip((1, 2, 4, 8, 16, 32, 64), series[:-1]):
+            assert value <= count + 1e-9, (name, count)
+        assert list(series) == sorted(series), name
+        # unconstrained column matches the k -> infinity trend
+        assert series[-1] >= series[-2] - 1e-9

@@ -1,0 +1,22 @@
+"""Ablation: forward single-pass vs reverse-annotated two-pass live-well
+reclamation (paper section 3.2's two trace-processing methods)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_twopass
+
+
+def test_ablation_twopass(benchmark, store, cap, save_output, check_shapes):
+    output = run_once(benchmark, ablation_twopass, store, cap)
+    save_output("abl-twopass", output)
+    reductions = []
+    for row in output.tables[0].rows:
+        name, fwd_peak, tp_peak, reduction, same_cp = row[0], row[1], row[2], row[3], row[4]
+        assert same_cp is True, name
+        assert tp_peak <= fwd_peak, name
+        reductions.append(reduction)
+    if check_shapes:
+        # eager reclamation must shrink the working set substantially for
+        # the array-heavy workloads (naskerx/tomcatvx halve theirs; most
+        # entries elsewhere are long-lived globals both methods must keep)
+        assert max(reductions) > 1.5

@@ -1,0 +1,19 @@
+"""Prior-work baselines: average-only estimators and Kumar's
+statement-granularity analysis (paper section 3.1)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_baselines
+
+
+def test_baselines(benchmark, store, cap, save_output):
+    output = run_once(benchmark, ablation_baselines, store, cap)
+    save_output("abl-baselines", output)
+    for row in output.tables[0].rows:
+        name, paragraph_ap, average_ap, cp_match, stmt_ap, stmt_size = row[:6]
+        # the average-only reimplementation agrees exactly with Paragraph
+        assert cp_match is True, name
+        assert abs(paragraph_ap - average_ap) < 1e-9, name
+        # statements bundle several machine instructions (Kumar's units)
+        assert stmt_size > 1.5, name
+        assert stmt_ap > 0.0

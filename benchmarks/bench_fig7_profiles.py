@@ -1,0 +1,43 @@
+"""Regenerate paper Figure 7: per-workload parallelism profiles.
+
+The paper's observation: parallelism is bursty — periods of lots of
+parallelism followed by periods of little. We assert burstiness via the
+coefficient of variation of per-level operation counts, and emit ASCII
+renderings plus CSV series as the figure stand-ins.
+"""
+
+import os
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.harness.experiments import fig7_profiles
+from repro.workloads.suite import SUITE_NAMES
+
+
+def test_fig7(benchmark, store, cap, save_output, check_shapes):
+    output = run_once(benchmark, fig7_profiles, store, cap)
+    save_output("fig7", output)
+    table = output.tables[0]
+    assert [row[0] for row in table.rows] == list(SUITE_NAMES)
+    if check_shapes:
+        burstiness = {row[0]: row[4] for row in table.rows}
+        # most of the suite shows strongly bursty profiles
+        assert sum(1 for value in burstiness.values() if value > 1.0) >= 6
+    assert len(output.figures) == len(SUITE_NAMES)
+
+
+def test_fig7_series_csv(store, cap):
+    """Write per-workload (level, ops) series for external plotting."""
+    directory = os.path.join(RESULTS_DIR, "fig7-series")
+    os.makedirs(directory, exist_ok=True)
+    for name in SUITE_NAMES:
+        result = analyze(store.trace(name, cap), AnalysisConfig())
+        xs, ys = result.profile.series(max_points=400)
+        path = os.path.join(directory, f"{name}.csv")
+        with open(path, "w") as handle:
+            handle.write("level,operations_per_level\n")
+            for x, y in zip(xs, ys):
+                handle.write(f"{x},{y}\n")
+        assert os.path.getsize(path) > 0

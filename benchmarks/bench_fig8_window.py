@@ -1,0 +1,43 @@
+"""Regenerate paper Figure 8: window size vs % of available parallelism.
+
+Shape assertions, per the paper's reading of the figure:
+
+- exposure is monotone in window size for every workload;
+- small windows (W<=16) expose only a small fraction for high-ILP programs;
+- the high-ILP programs are still far from saturated at mid windows while
+  low-ILP programs saturate much earlier;
+- W~256 already yields modest absolute parallelism for every workload.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import FIG8_WINDOWS, fig8_window
+
+
+def test_fig8(benchmark, store, cap, save_output, check_shapes):
+    output = run_once(benchmark, fig8_window, store, cap)
+    save_output("fig8", output)
+    percent_table, absolute_table = output.tables
+    windows = [1 if w is None else w for w in FIG8_WINDOWS]
+
+    percent = {row[0]: row[1:] for row in percent_table.rows}
+    absolute = {row[0]: row[1:] for row in absolute_table.rows}
+
+    for name, series in percent.items():
+        assert list(series) == sorted(series), name
+        assert abs(series[-1] - 100.0) < 1e-6, name
+
+    if not check_shapes:
+        return
+
+    # high-ILP analogs: a 16-instruction window exposes <20% of the total
+    for name in ("matrix300x", "tomcatvx", "fppppx", "eqntottx"):
+        assert percent[name][2] < 20.0, name
+
+    # the xlisp analog saturates early (low ILP): W=1024 exposes >80%
+    assert percent["xlispx"][5] > 80.0
+
+    # absolute parallelism at W=256 is modest for everything (paper: 7-52)
+    for name, series in absolute.items():
+        w256 = series[4]
+        assert 1.0 < w256 < 80.0, (name, w256)

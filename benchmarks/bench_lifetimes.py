@@ -1,0 +1,21 @@
+"""Value lifetime / degree-of-sharing distributions (paper section 2.3)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import lifetimes
+from repro.workloads.suite import SUITE_NAMES
+
+
+def test_lifetimes(benchmark, store, cap, save_output):
+    output = run_once(benchmark, lifetimes, store, cap)
+    save_output("lifetimes", output)
+    table = output.tables[0]
+    assert [row[0] for row in table.rows] == list(SUITE_NAMES)
+    for row in table.rows:
+        name, values, mean_life, p50, p90, sharing, dead = row
+        assert values > 0
+        assert 0 <= p50 <= p90
+        assert sharing >= 0.0
+        assert 0.0 <= dead <= 100.0
+        # most computed values are consumed at least once
+        assert dead < 60.0, name

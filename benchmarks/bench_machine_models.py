@@ -1,0 +1,23 @@
+"""Machine-model throttling (paper section 2.3): the same trace under the
+constraint sets of successively more aggressive machine classes."""
+
+from conftest import run_once
+
+from repro.harness.experiments import machine_models
+
+
+def test_machine_models(benchmark, store, cap, save_output):
+    output = run_once(benchmark, machine_models, store, cap)
+    save_output("machines", output)
+    for row in output.tables[0].rows:
+        name = row[0]
+        scalar, ss4, ss16, restricted, ideal = row[1:]
+        # a scalar in-order machine extracts ~1 instruction per cycle
+        assert scalar <= 1.0 + 1e-9, name
+        # each machine class dominates the weaker ones
+        assert scalar <= ss4 + 1e-9, name
+        assert ss4 <= ss16 * 1.05 + 1e-9, name  # predictors differ slightly
+        assert ss16 <= restricted + 1e-9, name
+        assert restricted <= ideal + 1e-9, name
+        # the 4-wide core is resource/window bound well below ideal
+        assert ss4 <= 4.0 + 1e-9, name

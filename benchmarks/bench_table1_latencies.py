@@ -1,0 +1,11 @@
+"""Regenerate paper Table 1: instruction class operation times."""
+
+from conftest import run_once
+
+from repro.harness.experiments import table1_latencies
+
+
+def test_table1(benchmark, store, cap, save_output):
+    output = run_once(benchmark, table1_latencies, store, cap)
+    save_output("table1", output)
+    assert all(ours == paper for _, ours, paper in output.tables[0].rows)

@@ -1,0 +1,17 @@
+"""Regenerate paper Table 2: the benchmark inventory."""
+
+from conftest import run_once
+
+from repro.harness.experiments import table2_suite
+from repro.workloads.suite import SUITE_NAMES
+
+
+def test_table2(benchmark, store, cap, save_output):
+    output = run_once(benchmark, table2_suite, store, cap)
+    save_output("table2", output)
+    table = output.tables[0]
+    assert [row[0] for row in table.rows] == list(SUITE_NAMES)
+    for row in table.rows:
+        total, analyzed = row[3], row[4]
+        assert analyzed <= total
+        assert analyzed <= cap

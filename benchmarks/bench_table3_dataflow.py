@@ -1,0 +1,30 @@
+"""Regenerate paper Table 3: the dataflow parallelism limit.
+
+Shape checks (absolute numbers are trace-length dependent; the paper's own
+caveat about truncated traces applies to us even more strongly):
+
+- available parallelism spans well over an order of magnitude;
+- the xlisp analog is the least parallel benchmark (paper section 4);
+- conservative vs optimistic syscall assumptions bound a modest
+  measurement error.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table3_dataflow
+
+
+def test_table3(benchmark, store, cap, save_output, check_shapes):
+    output = run_once(benchmark, table3_dataflow, store, cap)
+    save_output("table3", output)
+    rows = {row[0]: row for row in output.tables[0].rows}
+
+    for name, row in rows.items():
+        conservative_cp, optimistic_cp, error = row[2], row[4], row[6]
+        assert conservative_cp >= optimistic_cp
+        assert 0.0 <= error <= 1.0
+
+    if check_shapes:
+        parallelism = {name: row[3] for name, row in rows.items()}
+        assert max(parallelism.values()) / min(parallelism.values()) > 10
+        assert min(parallelism, key=parallelism.get) == "xlispx"

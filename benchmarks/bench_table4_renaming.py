@@ -1,0 +1,45 @@
+"""Regenerate paper Table 4: parallelism under the renaming conditions.
+
+This is the paper's centerpiece result. Shape assertions:
+
+- no renaming crushes every workload to single digits;
+- register renaming alone recovers a sizable fraction for most programs;
+- the matrix300/tomcatv/doduc analogs need *stack* renaming on top of
+  registers (FORTRAN static frames);
+- the espresso/fpppp analogs additionally need full *memory* renaming;
+- the nasker/xlisp analogs are insensitive beyond register renaming.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table4_renaming
+
+
+def test_table4(benchmark, store, cap, save_output, check_shapes):
+    output = run_once(benchmark, table4_renaming, store, cap)
+    save_output("table4", output)
+    rows = {row[0]: row[1:5] for row in output.tables[0].rows}
+
+    for name, (none, regs, stack, full) in rows.items():
+        assert none < 10.0, name
+        assert none <= regs <= stack <= full, name
+
+    if not check_shapes:
+        return
+
+    for name in ("matrix300x", "tomcatvx", "doducx"):
+        none, regs, stack, full = rows[name]
+        assert stack > 1.5 * regs, name
+        assert full < 1.2 * stack, name  # memory renaming adds little more
+
+    for name in ("espressox", "fppppx"):
+        none, regs, stack, full = rows[name]
+        assert full > 2.0 * stack, name
+
+    for name in ("naskerx", "xlispx"):
+        none, regs, stack, full = rows[name]
+        assert full < 1.1 * regs, name
+
+    # register renaming alone recovers most of eqntott (paper: 533 of 783)
+    none, regs, stack, full = rows["eqntottx"]
+    assert regs > 0.5 * full

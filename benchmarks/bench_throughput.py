@@ -1,0 +1,48 @@
+"""Tool throughput microbenchmarks (the paper quotes ~10 hours per 100M-
+instruction analysis on a DECstation 3100; these measure our stack)."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.cpu.machine import Machine
+from repro.workloads.suite import load_workload
+
+
+@pytest.fixture(scope="module")
+def bench_trace(store):
+    return store.trace("espressox", 100_000)
+
+
+def test_analyzer_throughput_full_renaming(benchmark, bench_trace):
+    result = benchmark(analyze, bench_trace, AnalysisConfig())
+    assert result.records_processed == 100_000
+
+
+def test_analyzer_throughput_no_renaming(benchmark, bench_trace):
+    result = benchmark(analyze, bench_trace, AnalysisConfig.no_renaming())
+    assert result.records_processed == 100_000
+
+
+def test_analyzer_throughput_windowed(benchmark, bench_trace):
+    result = benchmark(analyze, bench_trace, AnalysisConfig(window_size=1024))
+    assert result.records_processed == 100_000
+
+
+def test_simulator_throughput(benchmark):
+    program = load_workload("espressox").program()
+
+    def run():
+        machine = Machine(program, trace=True)
+        return machine.run(max_instructions=100_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.executed == 100_000
+
+
+def test_compiler_throughput(benchmark):
+    from repro.lang.compiler import compile_source
+
+    source = load_workload("spice2g6x").source()
+    program = benchmark(compile_source, source, static_frames=True)
+    assert len(program.instructions) > 100

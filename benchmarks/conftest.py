@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper table or figure: it times the
+Paragraph analysis with pytest-benchmark (one round — these are experiment
+reproductions, not microbenchmarks) and writes the reproduced table to
+``results/<experiment>.txt``/``.csv``.
+
+Environment knobs:
+
+- ``REPRO_BENCH_CAP``: instructions analyzed per workload (default 250000,
+  the paper's 100M scaled to pure-Python analysis throughput).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import TraceStore
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+BENCH_CAP = int(os.environ.get("REPRO_BENCH_CAP", "250000"))
+
+
+@pytest.fixture(scope="session")
+def store():
+    """Disk-backed trace store shared by every benchmark in the session."""
+    cache = os.path.join(RESULTS_DIR, "trace-cache")
+    return TraceStore(cache)
+
+
+#: Shape assertions (who wins, by how much) presume traces long enough to
+#: get past workload initialization; below this cap the benchmarks only
+#: validate plumbing.
+SHAPE_MIN_CAP = 150_000
+
+
+@pytest.fixture(scope="session")
+def cap():
+    return BENCH_CAP
+
+
+@pytest.fixture(scope="session")
+def check_shapes():
+    """True when the cap is large enough for paper-shape assertions."""
+    return BENCH_CAP >= SHAPE_MIN_CAP
+
+
+@pytest.fixture(scope="session")
+def save_output():
+    """Persist an ExperimentOutput under results/ and echo it."""
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name, output):
+        text = output.render()
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        for index, table in enumerate(output.tables):
+            suffix = "" if len(output.tables) == 1 else f".{index}"
+            with open(os.path.join(RESULTS_DIR, f"{name}{suffix}.csv"), "w") as handle:
+                handle.write(table.to_csv() + "\n")
+        print()
+        print(text)
+        return output
+
+    return _save
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Time one invocation (experiments are deterministic; one round)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Analyze your own program: MiniC -> compile -> simulate -> Paragraph.
+
+Writes a small MiniC program (a histogram kernel), compiles it with both
+frame disciplines (C-style dynamic sp frames vs FORTRAN-style static
+frames), and compares what Paragraph sees — a direct demonstration of why
+the compiler's storage decisions shape the measured parallelism.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import AnalysisConfig, analyze
+from repro.cpu import Machine
+from repro.lang import compile_source
+
+SOURCE = """
+int hist[64];
+int data[1024];
+
+int bucket(int value) {
+    int b = (value * 37 + 11) % 64;
+    if (b < 0) { b = 0 - b; }
+    return b;
+}
+
+void main() {
+    int i;
+    int blk;
+    for (blk = 0; blk < 16; blk = blk + 1) {
+        for (i = blk * 64; i < blk * 64 + 64; i = i + 1) {
+            data[i] = (i * 389 + 17) % 997;
+        }
+    }
+    for (blk = 0; blk < 16; blk = blk + 1) {
+        for (i = blk * 64; i < blk * 64 + 64; i = i + 1) {
+            int b = bucket(data[i]);
+            hist[b] = hist[b] + 1;
+        }
+        if (blk % 8 == 0) { print_int(blk); }
+    }
+    print_int(hist[0] + hist[31] + hist[63]);
+}
+"""
+
+
+def run(static_frames):
+    program = compile_source(SOURCE, static_frames=static_frames)
+    machine = Machine(program)
+    result = machine.run(max_instructions=400_000)
+    return result, machine.trace
+
+
+def main():
+    for static in (False, True):
+        mode = "static (FORTRAN-style)" if static else "dynamic (C-style)"
+        result, trace = run(static)
+        print(f"\n=== {mode} frames ===")
+        print(f"output: {result.output}   instructions: {result.executed:,}")
+        for label, config in [
+            ("registers renamed ", AnalysisConfig.registers_renamed()),
+            ("+ stack renamed   ", AnalysisConfig.registers_and_stack_renamed()),
+            ("+ memory renamed  ", AnalysisConfig()),
+        ]:
+            analysis = analyze(trace, config)
+            print(
+                f"  {label}: CP={analysis.critical_path_length:>7,}  "
+                f"ILP={analysis.available_parallelism:6.2f}"
+            )
+    print(
+        "\nThe bucket() kernel is called once per element. With dynamic"
+        "\nframes the sp adjustments thread a true-dependency chain through"
+        "\nevery call; with static frames the only cross-call coupling is"
+        "\nargument-block reuse — pure WAR, removable by stack renaming."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""The xlisp effect: why interpreters defeat dependency analysis.
+
+The paper's lowest-parallelism benchmark was xlisp, because the measured
+program is an *interpreter*: the guest program's control structure turns
+into data recurrences (the virtual pc and operand stack pointer) that no
+amount of renaming removes. The interpreter acts as an "abstract serial
+machine" (the paper's phrase) that caps the host-level parallelism at the
+interpreter loop's own recurrence budget — no matter how parallel the
+guest computation is.
+
+This example shows the cap: a data-parallel kernel compiled natively
+exposes far more ILP than the interpreter ever can, while a serial kernel
+compiled natively lands *below* the interpreter (whose per-bytecode
+decode work is itself mildly parallel).
+
+Run:  python examples/interpreter_paradox.py
+"""
+
+from repro import AnalysisConfig, analyze
+from repro.cpu import Machine
+from repro.lang import compile_source
+from repro.workloads import load_workload
+
+#: Independent iterations: out[i] depends on nothing but i.
+NATIVE_PARALLEL = """
+int out[2048];
+void main() {
+    int blk;
+    int i;
+    for (blk = 0; blk < 32; blk = blk + 1) {
+        for (i = blk * 64; i < blk * 64 + 64; i = i + 1) {
+            out[i] = (i * 37 - (i ^ 21)) + (i * i) % 127;
+        }
+        if (blk % 16 == 0) { print_int(blk); }
+    }
+    print_int(out[2047]);
+}
+"""
+
+#: One serial accumulator chain (the xlispx guest's actual computation).
+NATIVE_SERIAL = """
+void main() {
+    int o;
+    int i;
+    int acc = 0;
+    for (o = 0; o < 60; o = o + 1) {
+        for (i = 0; i < 40; i = i + 1) {
+            acc = acc + (o - i);
+        }
+    }
+    print_int(acc);
+}
+"""
+
+
+def measure(label, trace):
+    result = analyze(trace, AnalysisConfig())
+    print(
+        f"  {label:28s} placed={result.placed_operations:>8,} "
+        f"CP={result.critical_path_length:>7,} "
+        f"ILP={result.available_parallelism:6.2f}"
+    )
+    return result
+
+
+def native_trace(source, cap):
+    machine = Machine(compile_source(source))
+    machine.run(max_instructions=cap)
+    return machine.trace
+
+
+def main():
+    cap = 150_000
+    print("host-level available parallelism (full renaming):\n")
+    parallel = measure("native, parallel kernel", native_trace(NATIVE_PARALLEL, cap))
+    serial = measure("native, serial kernel", native_trace(NATIVE_SERIAL, cap))
+    interp = measure(
+        "interpreted (xlispx)", load_workload("xlispx").trace(max_instructions=cap)
+    )
+
+    print(
+        f"\nthe interpreter pins ILP near {interp.available_parallelism:.0f} "
+        f"regardless of the guest:"
+        f"\n- a parallel guest would reach ~{parallel.available_parallelism:.0f} "
+        f"compiled natively ({parallel.available_parallelism / interp.available_parallelism:.1f}x more),"
+        "\n  but interpreted it still serializes through the virtual pc/sp"
+        "\n  recurrences of the dispatch loop;"
+        "\n- even a fully serial guest costs little extra, because the"
+        "\n  interpreter's own decode work is what fills each level."
+        "\nThis is the paper's explanation for xlisp's 13.28 (section 4)."
+    )
+    assert parallel.available_parallelism > 1.5 * interp.available_parallelism
+
+
+if __name__ == "__main__":
+    main()

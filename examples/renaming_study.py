@@ -1,0 +1,56 @@
+"""Renaming study: reproduce one row of the paper's Table 4.
+
+Compiles a SPEC-analog workload, traces it, and sweeps Paragraph's renaming
+switches — showing how storage dependencies on registers, the stack, and
+the data segment each hide parallelism until renamed away.
+
+Run:  python examples/renaming_study.py [workload] [instructions]
+      e.g. python examples/renaming_study.py matrix300x 150000
+"""
+
+import sys
+
+from repro import AnalysisConfig, analyze
+from repro.workloads import load_workload
+
+CONFIGS = [
+    ("no renaming", AnalysisConfig.no_renaming()),
+    ("registers renamed", AnalysisConfig.registers_renamed()),
+    ("registers + stack", AnalysisConfig.registers_and_stack_renamed()),
+    ("registers + memory", AnalysisConfig()),
+]
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "matrix300x"
+    cap = int(sys.argv[2]) if len(sys.argv) > 2 else 150_000
+
+    workload = load_workload(name)
+    print(f"{workload.name} (analog of SPEC {workload.analog_of}): "
+          f"{workload.description}")
+    print(f"tracing the first {cap:,} instructions ...")
+    trace = workload.trace(max_instructions=cap)
+
+    print(f"\n{'configuration':22s} {'critical path':>14s} {'available ILP':>14s}")
+    baseline = None
+    for label, config in CONFIGS:
+        result = analyze(trace, config)
+        speedup = ""
+        if baseline is not None and baseline > 0:
+            speedup = f"  ({result.available_parallelism / baseline:5.1f}x vs none)"
+        else:
+            baseline = result.available_parallelism
+        print(
+            f"{label:22s} {result.critical_path_length:>14,} "
+            f"{result.available_parallelism:>14.2f}{speedup}"
+        )
+
+    print(
+        "\nReading: each renaming level removes one class of storage (WAR)"
+        "\ndependencies; whichever class the workload reuses most is the one"
+        "\nwhose renaming unlocks its parallelism (paper Table 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

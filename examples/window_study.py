@@ -1,0 +1,45 @@
+"""Window study: one workload's Figure 8 curve plus its profile.
+
+How many contiguous dynamic instructions must a processor examine to find
+the parallelism? Sweeps Paragraph's instruction window and prints the
+exposed fraction, then shows the parallelism profile (Figure 7 style).
+
+Run:  python examples/window_study.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import AnalysisConfig, analyze
+from repro.workloads import load_workload
+
+WINDOWS = (1, 4, 16, 64, 256, 1024, 4096, 16384, None)
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "tomcatvx"
+    cap = int(sys.argv[2]) if len(sys.argv) > 2 else 120_000
+
+    workload = load_workload(name)
+    print(f"{workload.name}: window size vs exposed parallelism "
+          f"({cap:,} instructions)\n")
+    trace = workload.trace(max_instructions=cap)
+
+    results = []
+    for window in WINDOWS:
+        config = AnalysisConfig(window_size=window)
+        results.append((window, analyze(trace, config)))
+    total = results[-1][1].available_parallelism
+
+    print(f"{'window':>8s} {'available ILP':>14s} {'% of total':>11s}  exposure")
+    for window, result in results:
+        label = "inf" if window is None else str(window)
+        percent = 100.0 * result.available_parallelism / total if total else 0.0
+        bar = "*" * int(percent / 2)
+        print(f"{label:>8s} {result.available_parallelism:>14.2f} {percent:>10.1f}%  {bar}")
+
+    print("\nparallelism profile (unlimited window, conservative syscalls):")
+    print(results[-1][1].profile.ascii_plot(width=64, height=12))
+
+
+if __name__ == "__main__":
+    main()

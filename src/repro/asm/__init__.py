@@ -1,0 +1,7 @@
+"""Two-pass assembler for the reproduction ISA."""
+
+from repro.asm.assembler import assemble
+from repro.asm.errors import AsmError
+from repro.asm.program import Program
+
+__all__ = ["assemble", "AsmError", "Program"]

@@ -1,0 +1,243 @@
+"""Two-pass assembler: assembly text -> :class:`~repro.asm.program.Program`.
+
+Pass one lays out the data segment and records label addresses (text labels
+get instruction indices, data labels get word addresses). Pass two encodes
+instructions with all labels resolved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.asm.errors import AsmError
+from repro.asm.parser import (
+    SourceLine,
+    is_int_literal,
+    parse_int,
+    parse_mem_operand,
+    parse_number,
+    parse_source,
+)
+from repro.asm.program import Program
+from repro.isa.instruction import Instruction
+from repro.isa.layout import DATA_BASE_WORDS, STACK_SEGMENT_FLOOR
+from repro.isa.opcodes import OPCODES
+from repro.isa.registers import is_fp_location, parse_register
+
+_DATA_DIRECTIVES = {".word", ".float", ".space"}
+
+
+class _Assembler:
+    def __init__(self, source: str):
+        self.lines = parse_source(source)
+        self.text_labels: Dict[str, int] = {}
+        self.data_labels: Dict[str, int] = {}
+        self.data: Dict[int, Union[int, float]] = {}
+        self.data_ptr = DATA_BASE_WORDS
+        self.instructions: List[Instruction] = []
+
+    def assemble(self) -> Program:
+        self._layout_pass()
+        self._encode_pass()
+        program = Program(
+            instructions=self.instructions,
+            labels=dict(self.text_labels),
+            data=dict(self.data),
+            data_base=DATA_BASE_WORDS,
+            data_end=self.data_ptr,
+            entry=self.text_labels.get("main", 0),
+        )
+        if program.data_end > STACK_SEGMENT_FLOOR:
+            raise AsmError(
+                f"data segment overflows into stack segment "
+                f"({program.data_end:#x} > {STACK_SEGMENT_FLOOR:#x})"
+            )
+        return program
+
+    # -- pass one -------------------------------------------------------
+
+    def _layout_pass(self) -> None:
+        segment = "text"
+        instr_index = 0
+        for line in self.lines:
+            head = line.head
+            if head == ".text":
+                segment = "text"
+            elif head == ".data":
+                segment = "data"
+            if segment == "data":
+                self._define_labels(line, self.data_labels, self.data_ptr)
+                if head in _DATA_DIRECTIVES:
+                    self._layout_data(line)
+                elif head and not head.startswith("."):
+                    raise AsmError("instruction in .data segment", line.number)
+            else:
+                self._define_labels(line, self.text_labels, instr_index)
+                if head and not head.startswith("."):
+                    instr_index += 1
+
+    def _define_labels(self, line: SourceLine, table: Dict[str, int], value: int) -> None:
+        for name in line.labels:
+            if name in self.text_labels or name in self.data_labels:
+                raise AsmError(f"duplicate label {name!r}", line.number)
+            table[name] = value
+
+    def _layout_data(self, line: SourceLine) -> None:
+        head = line.head
+        if head == ".space":
+            if len(line.operands) != 1:
+                raise AsmError(".space takes one operand", line.number)
+            count = parse_int(line.operands[0], line.number)
+            if count < 0:
+                raise AsmError(".space size must be non-negative", line.number)
+            self.data_ptr += count
+            return
+        if not line.operands:
+            raise AsmError(f"{head} needs at least one value", line.number)
+        for text in line.operands:
+            value = parse_number(text, line.number)
+            if head == ".word":
+                if not isinstance(value, int):
+                    raise AsmError(f".word value must be integer: {text!r}", line.number)
+                self.data[self.data_ptr] = value
+            else:  # .float
+                self.data[self.data_ptr] = float(value)
+            self.data_ptr += 1
+
+    # -- pass two -------------------------------------------------------
+
+    def _encode_pass(self) -> None:
+        segment = "text"
+        stmt_id = -1
+        for line in self.lines:
+            head = line.head
+            if head == ".text":
+                segment = "text"
+                continue
+            if head == ".data":
+                segment = "data"
+                continue
+            if segment == "data" or head is None:
+                continue
+            if head == ".stmt":
+                if len(line.operands) != 1:
+                    raise AsmError(".stmt takes one operand", line.number)
+                stmt_id = parse_int(line.operands[0], line.number)
+                continue
+            if head.startswith("."):
+                raise AsmError(f"unknown directive {head!r}", line.number)
+            self.instructions.append(self._encode(head, line, stmt_id))
+
+    def _encode(self, op: str, line: SourceLine, stmt_id: int) -> Instruction:
+        spec = OPCODES.get(op)
+        if spec is None:
+            raise AsmError(f"unknown opcode {op!r}", line.number)
+        ops = line.operands
+        n = line.number
+        instr = Instruction(op=op, stmt_id=stmt_id, line=n)
+        fmt = spec.fmt
+        try:
+            if fmt in ("rrr", "fff", "rff"):
+                self._arity(ops, 3, op, n)
+                instr.dst = self._reg(ops[0], fmt[0], n)
+                instr.src1 = self._reg(ops[1], fmt[1], n)
+                instr.src2 = self._reg(ops[2], fmt[2], n)
+            elif fmt == "rri":
+                if op == "move":
+                    self._arity(ops, 2, op, n)
+                    instr.dst = self._reg(ops[0], "r", n)
+                    instr.src1 = self._reg(ops[1], "r", n)
+                    instr.imm = 0
+                else:
+                    self._arity(ops, 3, op, n)
+                    instr.dst = self._reg(ops[0], "r", n)
+                    instr.src1 = self._reg(ops[1], "r", n)
+                    instr.imm = parse_int(ops[2], n)
+            elif fmt == "ri":
+                self._arity(ops, 2, op, n)
+                instr.dst = self._reg(ops[0], "r", n)
+                instr.imm = parse_int(ops[1], n)
+            elif fmt == "fi":
+                self._arity(ops, 2, op, n)
+                instr.dst = self._reg(ops[0], "f", n)
+                instr.imm = float(parse_number(ops[1], n))
+            elif fmt == "rl":
+                self._arity(ops, 2, op, n)
+                instr.dst = self._reg(ops[0], "r", n)
+                instr.imm = self._address(ops[1], n)
+            elif fmt in ("ff", "fr", "rf"):
+                self._arity(ops, 2, op, n)
+                instr.dst = self._reg(ops[0], fmt[0], n)
+                instr.src1 = self._reg(ops[1], fmt[1], n)
+            elif fmt in ("rm", "fm"):
+                self._arity(ops, 2, op, n)
+                instr.dst = self._reg(ops[0], fmt[0], n)
+                offset_text, base_text = parse_mem_operand(ops[1], n)
+                instr.imm = self._address(offset_text, n)
+                instr.src1 = self._reg(base_text, "r", n) if base_text else 0
+            elif fmt == "rrb":
+                self._arity(ops, 3, op, n)
+                instr.src1 = self._reg(ops[0], "r", n)
+                instr.src2 = self._reg(ops[1], "r", n)
+                instr.target = self._text_target(ops[2], n)
+            elif fmt == "rb":
+                self._arity(ops, 2, op, n)
+                instr.src1 = self._reg(ops[0], "r", n)
+                instr.target = self._text_target(ops[1], n)
+            elif fmt == "b":
+                self._arity(ops, 1, op, n)
+                instr.target = self._text_target(ops[0], n)
+            elif fmt == "r":
+                self._arity(ops, 1, op, n)
+                instr.src1 = self._reg(ops[0], "r", n)
+            elif fmt == "n":
+                self._arity(ops, 0, op, n)
+            else:  # pragma: no cover - registry always consistent
+                raise AsmError(f"unhandled format {fmt!r} for {op}", n)
+        except ValueError as exc:
+            raise AsmError(str(exc), n) from exc
+        return instr
+
+    @staticmethod
+    def _arity(ops: List[str], expected: int, op: str, line: int) -> None:
+        if len(ops) != expected:
+            raise AsmError(
+                f"{op} expects {expected} operand(s), got {len(ops)}", line
+            )
+
+    @staticmethod
+    def _reg(text: str, kind: str, line: int) -> int:
+        location = parse_register(text)
+        if kind == "r" and is_fp_location(location):
+            raise AsmError(f"expected integer register, got {text!r}", line)
+        if kind == "f" and not is_fp_location(location):
+            raise AsmError(f"expected fp register, got {text!r}", line)
+        return location
+
+    def _address(self, text: str, line: int) -> int:
+        """Resolve an integer literal or data label to a word value."""
+        if is_int_literal(text):
+            return parse_int(text, line)
+        if text in self.data_labels:
+            return self.data_labels[text]
+        raise AsmError(f"undefined data label or offset {text!r}", line)
+
+    def _text_target(self, text: str, line: int) -> int:
+        if is_int_literal(text):
+            index = parse_int(text, line)
+        elif text in self.text_labels:
+            index = self.text_labels[text]
+        else:
+            raise AsmError(f"undefined text label {text!r}", line)
+        if not 0 <= index <= len(self.instructions) + 10**9:
+            raise AsmError(f"branch target out of range: {index}", line)
+        return index
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Raises:
+        AsmError: on any syntax or semantic error, tagged with a line number.
+    """
+    return _Assembler(source).assemble()

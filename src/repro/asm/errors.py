@@ -1,0 +1,13 @@
+"""Assembler diagnostics."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """A syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)

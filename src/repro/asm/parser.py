@@ -1,0 +1,109 @@
+"""Line-level parsing for the assembler.
+
+Assembly is line oriented. Each line is::
+
+    [label:]... [opcode operand, operand, ...]   [# comment]
+
+or a directive (``.data``, ``.text``, ``.word``, ``.float``, ``.space``,
+``.stmt``). Operands are separated by commas; memory operands use
+``offset(base)`` syntax where ``offset`` may be an integer or a data label.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.asm.errors import AsmError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*([eE][+-]?\d+)?|\d+[eE][+-]?\d+|\.\d+([eE][+-]?\d+)?)$")
+_MEM_RE = re.compile(r"^(?P<off>[^()]*)\(\s*(?P<base>[$\w]+)\s*\)$")
+
+
+@dataclass
+class SourceLine:
+    """One meaningful source line after label/comment stripping."""
+
+    number: int
+    labels: List[str] = field(default_factory=list)
+    #: Directive name (with leading dot) or opcode mnemonic; None for a
+    #: label-only line.
+    head: Optional[str] = None
+    operands: List[str] = field(default_factory=list)
+
+
+def strip_comment(text: str) -> str:
+    """Remove ``#`` and ``;`` comments (no string literals in this ISA)."""
+    for marker in ("#", ";"):
+        pos = text.find(marker)
+        if pos >= 0:
+            text = text[:pos]
+    return text
+
+
+def split_operands(text: str) -> List[str]:
+    """Split an operand list on commas, trimming whitespace."""
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def parse_source(source: str) -> List[SourceLine]:
+    """Parse assembly text into :class:`SourceLine` records."""
+    parsed: List[SourceLine] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = strip_comment(raw).strip()
+        if not text:
+            continue
+        line = SourceLine(number=number)
+        while True:
+            match = _LABEL_RE.match(text)
+            if not match or match.group(1).startswith("."):
+                break
+            line.labels.append(match.group(1))
+            text = match.group(2).strip()
+        if text:
+            parts = text.split(None, 1)
+            line.head = parts[0].lower() if not parts[0].startswith(".") else parts[0]
+            line.operands = split_operands(parts[1]) if len(parts) > 1 else []
+        if line.labels or line.head:
+            parsed.append(line)
+    return parsed
+
+
+def parse_int(text: str, line: int) -> int:
+    """Parse an integer literal (decimal or hex)."""
+    if not _INT_RE.match(text):
+        raise AsmError(f"expected integer, got {text!r}", line)
+    return int(text, 0)
+
+
+def parse_number(text: str, line: int):
+    """Parse an int or float literal."""
+    if _INT_RE.match(text):
+        return int(text, 0)
+    if _FLOAT_RE.match(text):
+        return float(text)
+    raise AsmError(f"expected number, got {text!r}", line)
+
+
+def is_int_literal(text: str) -> bool:
+    """True if the text is an integer literal."""
+    return bool(_INT_RE.match(text))
+
+
+def parse_mem_operand(text: str, line: int) -> Tuple[str, Optional[str]]:
+    """Split a memory operand into ``(offset_text, base_text_or_None)``.
+
+    ``4(sp)`` -> ``("4", "sp")``; ``(t0)`` -> ``("0", "t0")``;
+    ``table`` -> ``("table", None)``.
+    """
+    match = _MEM_RE.match(text)
+    if match:
+        offset = match.group("off").strip() or "0"
+        return offset, match.group("base")
+    return text.strip(), None

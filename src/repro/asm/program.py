@@ -1,0 +1,48 @@
+"""Assembled program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.isa.instruction import Instruction, format_instruction
+from repro.isa.layout import DATA_BASE_WORDS
+
+
+@dataclass
+class Program:
+    """An assembled program ready for the simulator.
+
+    Attributes:
+        instructions: the text segment; branch/jump targets are instruction
+            indices into this list.
+        labels: label name -> instruction index (text labels only).
+        data: initial contents of the data segment, word address -> value.
+        data_base: first word address of the data segment.
+        data_end: one past the last word reserved in the data segment; the
+            heap starts here.
+        entry: instruction index where execution starts (the ``main`` label
+            when present, else 0).
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, Union[int, float]] = field(default_factory=dict)
+    data_base: int = DATA_BASE_WORDS
+    data_end: int = DATA_BASE_WORDS
+    entry: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def disassemble(self) -> str:
+        """Render the text segment with one instruction per line."""
+        index_labels: Dict[int, List[str]] = {}
+        for name, index in self.labels.items():
+            index_labels.setdefault(index, []).append(name)
+        lines = []
+        for index, instr in enumerate(self.instructions):
+            for name in sorted(index_labels.get(index, [])):
+                lines.append(f"{name}:")
+            lines.append(f"    {format_instruction(instr)}")
+        return "\n".join(lines)

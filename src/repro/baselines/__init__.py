@@ -1,0 +1,11 @@
+"""Prior-work baseline analyzers the paper positions Paragraph against."""
+
+from repro.baselines.average_only import AverageOnlyResult, average_parallelism
+from repro.baselines.kumar import StatementLevelResult, statement_parallelism
+
+__all__ = [
+    "AverageOnlyResult",
+    "average_parallelism",
+    "StatementLevelResult",
+    "statement_parallelism",
+]

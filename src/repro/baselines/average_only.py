@@ -1,0 +1,116 @@
+"""Average-parallelism-only estimator (prior work, paper section 3.1).
+
+The studies the paper cites (Tjaden & Flynn 1970, Nicolau & Fisher 1984,
+Wall 1991, Butler et al. 1991, Smith et al. 1991) track only the critical
+path length and divide the instruction count by it — they never materialize
+the parallelism profile, value lifetimes, or sharing. This module
+implements that minimal analysis to (a) position Paragraph against it and
+(b) serve as a cross-check: its critical path must equal Paragraph's under
+the same constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.config import AnalysisConfig
+from repro.isa.opclasses import OpClass, PLACED_CLASSES
+from repro.trace.segments import DEFAULT_SEGMENTS, SegmentMap
+
+
+@dataclass
+class AverageOnlyResult:
+    """What the average-only studies report."""
+
+    placed_operations: int
+    critical_path_length: int
+
+    @property
+    def average_parallelism(self) -> float:
+        """Instructions divided by critical path length."""
+        if self.critical_path_length == 0:
+            return 0.0
+        return self.placed_operations / self.critical_path_length
+
+
+def average_parallelism(
+    trace: Iterable,
+    config: Optional[AnalysisConfig] = None,
+    segments: Optional[SegmentMap] = None,
+) -> AverageOnlyResult:
+    """Critical path + average parallelism, nothing else.
+
+    A deliberately separate, minimal implementation (not a call into
+    Paragraph) so the two can validate each other. Supports the renaming
+    switches and conservative/optimistic syscalls; no window, profile,
+    lifetimes, resources, or branch models.
+    """
+    if config is None:
+        config = AnalysisConfig()
+    if config.window_size is not None or config.resources is not None:
+        raise ValueError("average-only baseline models no window or resources")
+    if config.memory_disambiguation != "perfect":
+        raise ValueError("average-only baseline assumes perfect disambiguation")
+    if segments is None:
+        segments = getattr(trace, "segments", DEFAULT_SEGMENTS)
+
+    latency = config.latency.as_list()
+    conservative = config.syscall_policy == "conservative"
+    stack_bound = 64 + segments.stack_floor
+    rename_regs = config.rename_registers
+    rename_stack = config.rename_stack
+    rename_data = config.rename_data
+
+    level = {}  # location -> creation level of current value
+    last_use = {}  # location -> deepest consumer level (non-renamed only)
+    floor = 0
+    deepest = -1
+    placed = 0
+    syscall = int(OpClass.SYSCALL)
+
+    for record in trace:
+        opclass = record[0]
+        if opclass not in PLACED_CLASSES:
+            continue
+        if opclass == syscall:
+            if not conservative:
+                continue
+            value_level = max(deepest + 1, floor - 1 + latency[syscall])
+            placed += 1
+            deepest = max(deepest, value_level)
+            floor = value_level + 1
+            for dest in record[2]:
+                level[dest] = value_level
+                last_use.pop(dest, None)
+            continue
+        top = latency[opclass]
+        available = floor - 1
+        for src in record[1]:
+            src_level = level.get(src)
+            if src_level is None:
+                level[src] = floor - 1
+            elif src_level > available:
+                available = src_level
+        value_level = available + top
+        for dest in record[2]:
+            if dest < 64:
+                renamed = rename_regs
+            elif dest >= stack_bound:
+                renamed = rename_stack
+            else:
+                renamed = rename_data
+            if not renamed:
+                war = last_use.get(dest)
+                if war is not None and war + 1 > value_level:
+                    value_level = war + 1
+        placed += 1
+        if value_level > deepest:
+            deepest = value_level
+        for src in record[1]:
+            if last_use.get(src, -1) < value_level:
+                last_use[src] = value_level
+        for dest in record[2]:
+            level[dest] = value_level
+            last_use.pop(dest, None)
+    return AverageOnlyResult(placed, deepest + 1)

@@ -1,0 +1,109 @@
+"""Branch-prediction firewall models.
+
+The paper's published experiments assume perfect control flow, but note that
+"the firewall can also be used to represent the effect of a mispredicted
+conditional branch". These predictors implement that extension: each
+mispredicted conditional branch inserts a firewall at the branch's
+resolution level (its source values' availability plus one level), delaying
+every later operation past it — the Figure 3 behaviour.
+
+Available models (by name, for :attr:`AnalysisConfig.branch_predictor`):
+
+- ``"taken"`` / ``"not-taken"``: static predictions.
+- ``"bimodal"``: classic 2-bit saturating counters indexed by pc
+  (2^12 entries).
+- ``"gshare"``: 2-bit counters indexed by pc XOR global history.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class BranchPredictor:
+    """Interface: ``predict`` then ``update`` per conditional branch."""
+
+    def predict(self, pc: int) -> bool:
+        """Predicted taken/not-taken for the branch at ``pc``."""
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the actual outcome."""
+        raise NotImplementedError
+
+
+class StaticPredictor(BranchPredictor):
+    """Always predicts the same direction."""
+
+    def __init__(self, taken: bool):
+        self._taken = taken
+
+    def predict(self, pc: int) -> bool:
+        return self._taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """2-bit saturating counters indexed by pc."""
+
+    def __init__(self, bits: int = 12):
+        self._mask = (1 << bits) - 1
+        self._counters = [2] * (1 << bits)  # weakly taken
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[pc & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = pc & self._mask
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+
+
+class GSharePredictor(BranchPredictor):
+    """2-bit counters indexed by pc XOR a global history register."""
+
+    def __init__(self, bits: int = 12):
+        self._bits = bits
+        self._mask = (1 << bits) - 1
+        self._counters = [2] * (1 << bits)
+        self._history = 0
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[(pc ^ self._history) & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = (pc ^ self._history) & self._mask
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._mask
+
+
+_FACTORIES: Dict[str, Callable[[], BranchPredictor]] = {
+    "taken": lambda: StaticPredictor(True),
+    "not-taken": lambda: StaticPredictor(False),
+    "bimodal": BimodalPredictor,
+    "gshare": GSharePredictor,
+}
+
+
+def make_predictor(name: str) -> BranchPredictor:
+    """Instantiate a predictor by configuration name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown branch predictor {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+
+
+PREDICTOR_NAMES = tuple(sorted(_FACTORIES))

@@ -1,0 +1,87 @@
+"""Critical-path composition analysis.
+
+Beyond the critical path *length*, it is often more actionable to know what
+the critical path is *made of*: which operation classes, which dependence
+kinds, and which static instructions sit on the longest chain. This module
+summarizes one longest chain of an explicit DDG — the tool we used while
+tuning the workload suite, promoted to a public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.ddg import DynamicDependencyGraph
+from repro.isa.opclasses import OpClass
+
+
+@dataclass
+class CriticalPathSummary:
+    """What one longest dependence chain consists of."""
+
+    length_nodes: int
+    length_levels: int
+    #: operation-class name -> nodes of that class on the path
+    by_class: Dict[str, int] = field(default_factory=dict)
+    #: dependence kind (raw/war/fence/firewall/source) -> edges on the path
+    by_edge_kind: Dict[str, int] = field(default_factory=dict)
+    #: (source statement id, opclass name) -> occurrences, most frequent
+    #: first (statement ids come from the MiniC compiler's .stmt markers;
+    #: -1 for hand-written assembly)
+    hot_statements: List[Tuple[int, str, int]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [
+            f"critical path: {self.length_nodes} operations over "
+            f"{self.length_levels} levels",
+            "by operation class: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.by_class.items())),
+            "by dependence kind: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.by_edge_kind.items())),
+        ]
+        if self.hot_statements:
+            lines.append("hottest source statements (stmt id, class, occurrences):")
+            for stmt, name, count in self.hot_statements:
+                lines.append(f"  stmt={stmt:<7d} {name:<8s} x{count}")
+        return "\n".join(lines)
+
+
+def summarize_critical_path(
+    ddg: DynamicDependencyGraph, trace, top: int = 8
+) -> CriticalPathSummary:
+    """Summarize one longest chain of ``ddg`` against its source ``trace``.
+
+    Args:
+        ddg: an explicit DDG built from ``trace``.
+        trace: the trace the DDG was built from (indexable by record index).
+        top: how many hot static operations to report.
+    """
+    path = ddg.critical_path_nodes()
+    summary = CriticalPathSummary(
+        length_nodes=len(path),
+        length_levels=ddg.critical_path_length,
+    )
+    static_counts: Dict[Tuple[int, str], int] = {}
+    previous = None
+    for node in path:
+        record = trace[node]
+        name = OpClass(record[0]).name
+        summary.by_class[name] = summary.by_class.get(name, 0) + 1
+        stmt = record[4]
+        key = (stmt, name)
+        static_counts[key] = static_counts.get(key, 0) + 1
+        if previous is None:
+            summary.by_edge_kind["source"] = 1
+        else:
+            kind = ddg.graph.edges[previous, node]["kind"]
+            summary.by_edge_kind[kind] = summary.by_edge_kind.get(kind, 0) + 1
+        previous = node
+    summary.hot_statements = [
+        (stmt, name, count)
+        for (stmt, name), count in sorted(
+            static_counts.items(), key=lambda item: -item[1]
+        )[:top]
+    ]
+    return summary

@@ -1,0 +1,315 @@
+"""Explicit dynamic dependency graph construction (small traces).
+
+While the streaming analyzer never materializes the DDG, this module builds
+it explicitly as a ``networkx.DiGraph`` — the form the paper *defines* the
+analysis on (section 2.2). It exists for three reasons:
+
+1. **Cross-validation**: node levels computed here must match the streaming
+   analyzer exactly; :meth:`DynamicDependencyGraph.verify_levels` recomputes
+   every level from graph edges alone.
+2. **Inspection**: users can extract the actual critical-path operation
+   sequence, per-node dependencies, and edge kinds (``raw``, ``war``,
+   ``fence``, ``firewall``) for small kernels.
+3. **Pedagogy**: the paper's Figures 1-4 are reproduced as graphs in tests.
+
+Edge kinds and the level constraints they carry (``top`` = latency of the
+edge's head node):
+
+=========  ===================  ========================================
+Kind       Constraint           Inserted when
+=========  ===================  ========================================
+raw        level(u) + top(v)    v reads the value u created
+war        level(u) + 1         v overwrites a value u consumed
+                                (destination not renamed)
+fence      level(u) + 1         v is a conservative system call; u is the
+                                deepest prior computation
+firewall   level(u) + top(v)    u is the most recent firewall source
+                                (system call or window-displaced op)
+=========  ===================  ========================================
+
+Resource constraints and branch-prediction firewalls are not supported here
+(they are machine throttles rather than dependencies); use the streaming
+analyzer for those.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import networkx as nx
+
+from repro.core.config import CONSERVATIVE, AnalysisConfig
+from repro.core.profile import ParallelismProfile
+from repro.core.results import AnalysisResult
+from repro.isa.locations import is_register_location, memory_address
+from repro.isa.opclasses import OpClass, PLACED_CLASSES
+from repro.trace.segments import DEFAULT_SEGMENTS, SegmentMap
+
+#: Safety cap: explicit graphs are for small traces.
+DEFAULT_MAX_RECORDS = 200_000
+
+
+class _Entry:
+    """Live-well entry extended with graph provenance."""
+
+    __slots__ = ("level", "producer", "consumers", "preexisting")
+
+    def __init__(self, level: int, producer: Optional[int], preexisting: bool):
+        self.level = level
+        self.producer = producer
+        self.consumers: List[int] = []
+        self.preexisting = preexisting
+
+
+class DynamicDependencyGraph:
+    """The materialized DDG plus its summary statistics."""
+
+    def __init__(self, graph: nx.DiGraph, config: AnalysisConfig, records: int):
+        self.graph = graph
+        self.config = config
+        self.records_processed = records
+
+    # -- summaries --------------------------------------------------------
+
+    @property
+    def placed_operations(self) -> int:
+        """Number of DDG nodes."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def critical_path_length(self) -> int:
+        """DDG height in levels."""
+        if not self.graph:
+            return 0
+        return max(level for _, level in self.graph.nodes(data="level")) + 1
+
+    @property
+    def available_parallelism(self) -> float:
+        """Nodes per critical-path level."""
+        depth = self.critical_path_length
+        return self.placed_operations / depth if depth else 0.0
+
+    def profile(self) -> ParallelismProfile:
+        """Parallelism profile from node levels."""
+        prof = ParallelismProfile()
+        for _, level in self.graph.nodes(data="level"):
+            prof.add(level)
+        return prof
+
+    def levels(self) -> List[int]:
+        """Node levels in trace order."""
+        return [self.graph.nodes[n]["level"] for n in sorted(self.graph.nodes)]
+
+    def to_result(self) -> AnalysisResult:
+        """Summarize as an :class:`AnalysisResult` (comparable with the
+        streaming analyzer's output fields that the DDG defines)."""
+        return AnalysisResult(
+            records_processed=self.records_processed,
+            placed_operations=self.placed_operations,
+            critical_path_length=self.critical_path_length,
+            profile=self.profile(),
+            syscalls=sum(
+                1 for _, kind in self.graph.nodes(data="kind") if kind == "syscall"
+            ),
+            firewalls=-1,
+            branches=-1,
+            mispredictions=0,
+            peak_live_well=-1,
+            lifetimes=None,
+            config=self.config,
+        )
+
+    # -- validation and inspection ----------------------------------------
+
+    def _edge_constraint(self, u: int, v: int, kind: str) -> int:
+        level_u = self.graph.nodes[u]["level"]
+        if kind in ("raw", "firewall"):
+            return level_u + self.graph.nodes[v]["top"]
+        return level_u + 1  # war, fence
+
+    def verify_levels(self) -> None:
+        """Recompute every node's level purely from edges; raise
+        ``AssertionError`` on any mismatch with the stored level."""
+        for v in self.graph.nodes:
+            top = self.graph.nodes[v]["top"]
+            computed = top - 1
+            for u, _, kind in self.graph.in_edges(v, data="kind"):
+                constraint = self._edge_constraint(u, v, kind)
+                if constraint > computed:
+                    computed = constraint
+            stored = self.graph.nodes[v]["level"]
+            if computed != stored:
+                raise AssertionError(
+                    f"node {v}: stored level {stored} != recomputed {computed}"
+                )
+
+    def critical_path_nodes(self) -> List[int]:
+        """One longest dependence chain, as trace indices, deepest last."""
+        if not self.graph:
+            return []
+        node = max(self.graph.nodes, key=lambda n: (self.graph.nodes[n]["level"], -n))
+        path = [node]
+        while True:
+            best = None
+            level = self.graph.nodes[node]["level"]
+            for u, _, kind in self.graph.in_edges(node, data="kind"):
+                if self._edge_constraint(u, node, kind) == level:
+                    best = u
+                    break
+            if best is None:
+                break
+            path.append(best)
+            node = best
+        path.reverse()
+        return path
+
+
+def build_ddg(
+    trace: Iterable,
+    config: Optional[AnalysisConfig] = None,
+    segments: Optional[SegmentMap] = None,
+    max_records: int = DEFAULT_MAX_RECORDS,
+) -> DynamicDependencyGraph:
+    """Build the explicit DDG of ``trace`` under ``config``.
+
+    Raises:
+        ValueError: if the config requests resource constraints or branch
+            prediction (unsupported here), or the trace exceeds
+            ``max_records``.
+    """
+    if config is None:
+        config = AnalysisConfig()
+    if config.resources is not None and not config.resources.unconstrained:
+        raise ValueError("explicit DDG construction does not support resource models")
+    if config.branch_predictor is not None:
+        raise ValueError("explicit DDG construction does not support branch predictors")
+    if config.memory_disambiguation != "perfect":
+        raise ValueError(
+            "explicit DDG construction supports perfect disambiguation only"
+        )
+    if segments is None:
+        segments = getattr(trace, "segments", DEFAULT_SEGMENTS)
+
+    latency = config.latency.steps
+    conservative = config.syscall_policy == CONSERVATIVE
+    stack_floor = segments.stack_floor
+
+    def renamed(location: int) -> bool:
+        if is_register_location(location):
+            return config.rename_registers
+        if memory_address(location) >= stack_floor:
+            return config.rename_stack
+        return config.rename_data
+
+    graph = nx.DiGraph()
+    entries = {}
+    floor = 0
+    floor_source: Optional[int] = None
+    deepest = -1
+    deepest_node: Optional[int] = None
+    window = config.window_size
+    ring: List[Optional[int]] = [None] * window if window else []
+    ring_pos = 0
+    records = 0
+
+    for index, record in enumerate(trace):
+        records += 1
+        if records > max_records:
+            raise ValueError(
+                f"trace exceeds max_records={max_records}; "
+                "use the streaming analyzer for long traces"
+            )
+        if ring:
+            displaced = ring[ring_pos]
+            if displaced is not None:
+                displaced_level = graph.nodes[displaced]["level"]
+                if displaced_level + 1 > floor:
+                    floor = displaced_level + 1
+                    floor_source = displaced
+        opclass = OpClass(record[0])
+
+        if opclass not in PLACED_CLASSES:
+            if ring:
+                ring[ring_pos] = None
+                ring_pos = (ring_pos + 1) % window
+            continue
+
+        if opclass is OpClass.SYSCALL:
+            if not conservative:
+                if ring:
+                    ring[ring_pos] = None
+                    ring_pos = (ring_pos + 1) % window
+                continue
+            top = latency[OpClass.SYSCALL]
+            level = max(deepest + 1, floor - 1 + top)
+            graph.add_node(index, level=level, top=top, kind="syscall", opclass=int(opclass))
+            if deepest_node is not None:
+                graph.add_edge(deepest_node, index, kind="fence")
+            if floor_source is not None:
+                graph.add_edge(floor_source, index, kind="firewall")
+            if level > deepest:
+                deepest = level
+                deepest_node = index
+            floor = level + 1
+            floor_source = index
+            for dest in record[2]:
+                entries[dest] = _Entry(level, index, False)
+            if ring:
+                ring[ring_pos] = index
+                ring_pos = (ring_pos + 1) % window
+            continue
+
+        top = latency[opclass]
+        srcs, dests = record[1], record[2]
+        level = floor - 1 + top
+        raw_sources = []
+        for src in srcs:
+            entry = entries.get(src)
+            if entry is None:
+                entry = _Entry(floor - 1, None, True)
+                entries[src] = entry
+            if entry.producer is not None:
+                raw_sources.append(entry.producer)
+            candidate = entry.level + top
+            if candidate > level:
+                level = candidate
+        war_sources = []
+        for dest in dests:
+            if renamed(dest):
+                continue
+            old = entries.get(dest)
+            if old is None:
+                continue
+            for consumer in old.consumers:
+                war_sources.append(consumer)
+                candidate = graph.nodes[consumer]["level"] + 1
+                if candidate > level:
+                    level = candidate
+
+        graph.add_node(index, level=level, top=top, kind="op", opclass=int(opclass))
+        for producer in set(raw_sources):
+            graph.add_edge(producer, index, kind="raw")
+        for consumer in set(war_sources):
+            if not graph.has_edge(consumer, index):
+                graph.add_edge(consumer, index, kind="war")
+        if floor_source is not None:
+            if graph.has_edge(floor_source, index):
+                # A firewall constraint (+top) dominates a war constraint
+                # (+1) from the same source; upgrade so verify_levels sees
+                # the binding constraint. A raw edge carries +top already.
+                if graph.edges[floor_source, index]["kind"] == "war":
+                    graph.edges[floor_source, index]["kind"] = "firewall"
+            else:
+                graph.add_edge(floor_source, index, kind="firewall")
+
+        if level > deepest:
+            deepest = level
+            deepest_node = index
+        for src in srcs:
+            entries[src].consumers.append(index)
+        for dest in dests:
+            entries[dest] = _Entry(level, index, False)
+        if ring:
+            ring[ring_pos] = index
+            ring_pos = (ring_pos + 1) % window
+    return DynamicDependencyGraph(graph, config, records)

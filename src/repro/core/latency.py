@@ -1,0 +1,78 @@
+"""Operation latencies in DDG levels (the paper's Table 1).
+
+``top`` — the number of levels an operation spans before the value it
+creates is available to subsequent operations — is a function of the
+operation class. The defaults reproduce Table 1 for the MIPS processor:
+
+=======================  =====
+Operation class          Steps
+=======================  =====
+Integer ALU              1
+Integer multiply         6
+Integer division         12
+FP add/sub               6
+FP multiply              6
+FP division              12
+Load/store               1
+System calls             1
+=======================  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.opclasses import OpClass
+
+_DEFAULT_STEPS = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 6,
+    OpClass.IDIV: 12,
+    OpClass.FADD: 6,
+    OpClass.FMUL: 6,
+    OpClass.FDIV: 12,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.SYSCALL: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.NOP: 1,
+}
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Immutable map from operation class to latency in DDG levels."""
+
+    steps: Dict[OpClass, int] = field(default_factory=lambda: dict(_DEFAULT_STEPS))
+
+    def __post_init__(self):
+        for opclass in OpClass:
+            value = self.steps.get(opclass)
+            if value is None:
+                raise ValueError(f"latency table missing class {opclass.name}")
+            if value < 1:
+                raise ValueError(f"latency for {opclass.name} must be >= 1, got {value}")
+
+    @classmethod
+    def default(cls) -> "LatencyTable":
+        """The paper's Table 1 values."""
+        return cls()
+
+    @classmethod
+    def unit(cls) -> "LatencyTable":
+        """All operations take one level (Kumar's and several prior studies'
+        assumption; also used by the paper's worked figures)."""
+        return cls({opclass: 1 for opclass in OpClass})
+
+    def with_overrides(self, **by_name: int) -> "LatencyTable":
+        """A copy with classes overridden by name, e.g. ``IMUL=3``."""
+        steps = dict(self.steps)
+        for name, value in by_name.items():
+            steps[OpClass[name]] = value
+        return LatencyTable(steps)
+
+    def as_list(self) -> List[int]:
+        """Latencies as a list indexed by int class value (hot-loop form)."""
+        return [self.steps[OpClass(i)] for i in range(len(OpClass))]

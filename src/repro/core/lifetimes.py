@@ -1,0 +1,69 @@
+"""Value lifetime and degree-of-sharing distributions (paper section 2.3).
+
+A value's *lifetime* is the number of DDG levels from its creation to its
+last use (0 for values never consumed); its *degree of sharing* is how many
+placed operations consumed it. The paper motivates both: lifetimes bound the
+temporary storage an abstract machine needs, sharing characterizes token
+fan-out in a dataflow realization.
+
+Pre-existing values (initial register/memory state) are excluded — they are
+inputs, not computed tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class LifetimeStats:
+    """Histograms over computed values."""
+
+    #: lifetime (levels) -> number of values
+    lifetime_histogram: Dict[int, int] = field(default_factory=dict)
+    #: degree of sharing (use count) -> number of values
+    sharing_histogram: Dict[int, int] = field(default_factory=dict)
+    values_created: int = 0
+    total_uses: int = 0
+
+    def record(self, lifetime: int, uses: int) -> None:
+        """Account one dead (or end-of-trace) value."""
+        self.lifetime_histogram[lifetime] = self.lifetime_histogram.get(lifetime, 0) + 1
+        self.sharing_histogram[uses] = self.sharing_histogram.get(uses, 0) + 1
+        self.values_created += 1
+        self.total_uses += uses
+
+    @property
+    def mean_lifetime(self) -> float:
+        """Average value lifetime in DDG levels."""
+        if not self.values_created:
+            return 0.0
+        weighted = sum(life * count for life, count in self.lifetime_histogram.items())
+        return weighted / self.values_created
+
+    @property
+    def mean_sharing(self) -> float:
+        """Average consumers per computed value."""
+        if not self.values_created:
+            return 0.0
+        return self.total_uses / self.values_created
+
+    @property
+    def dead_value_fraction(self) -> float:
+        """Fraction of computed values never consumed."""
+        if not self.values_created:
+            return 0.0
+        return self.sharing_histogram.get(0, 0) / self.values_created
+
+    def quantile_lifetime(self, q: float) -> int:
+        """Lifetime below which fraction ``q`` of values fall."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        target = q * self.values_created
+        seen = 0
+        for lifetime in sorted(self.lifetime_histogram):
+            seen += self.lifetime_histogram[lifetime]
+            if seen >= target:
+                return lifetime
+        return max(self.lifetime_histogram, default=0)

@@ -1,0 +1,91 @@
+"""The live well: Paragraph's central hash table (paper section 3.2).
+
+The live well maps each *live* storage location to facts about the value it
+currently holds:
+
+- ``level``: the DDG level at which the value became available,
+- ``deepest_use``: the deepest level of any computation that consumed it
+  (the paper's ``Ddest``), or ``NEVER_USED`` if unconsumed,
+- ``uses``: consumer count (degree of sharing),
+- ``preexisting``: True for values that existed when the program began
+  (pre-initialized registers / DATA segment words).
+
+This class is the readable reference form used by the reference analyzer,
+the explicit DDG builder, and tests; the production streaming analyzer in
+:mod:`repro.core.analyzer` inlines the same structure as plain lists inside
+a dict for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+#: Sentinel for ``deepest_use`` of values never consumed; any WAR constraint
+#: computed from it is vacuous.
+NEVER_USED = -(1 << 60)
+
+
+@dataclass
+class LiveValue:
+    """One live-well entry."""
+
+    level: int
+    deepest_use: int = NEVER_USED
+    uses: int = 0
+    preexisting: bool = False
+
+
+class LiveWell:
+    """Location -> :class:`LiveValue`, with the paper's special cases."""
+
+    def __init__(self):
+        self._values: Dict[int, LiveValue] = {}
+        self.peak_size = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, location: int) -> bool:
+        return location in self._values
+
+    def lookup(self, location: int, preexisting_level: int) -> LiveValue:
+        """Fetch the value at ``location``; on first touch, materialize a
+        pre-existing value at ``preexisting_level`` (the level immediately
+        preceding the topologically highest level, paper Figure 5)."""
+        value = self._values.get(location)
+        if value is None:
+            value = LiveValue(level=preexisting_level, preexisting=True)
+            self._values[location] = value
+            if len(self._values) > self.peak_size:
+                self.peak_size = len(self._values)
+        return value
+
+    def peek(self, location: int) -> Optional[LiveValue]:
+        """Fetch without materializing a pre-existing value."""
+        return self._values.get(location)
+
+    def create(self, location: int, level: int) -> Optional[LiveValue]:
+        """Bind a newly computed value to ``location``, returning the evicted
+        previous value (if any) for lifetime accounting."""
+        previous = self._values.get(location)
+        self._values[location] = LiveValue(level=level)
+        if len(self._values) > self.peak_size:
+            self.peak_size = len(self._values)
+        return previous
+
+    def use(self, location: int, consumer_level: int) -> None:
+        """Record that the value at ``location`` was consumed by a
+        computation placed at ``consumer_level``."""
+        value = self._values[location]
+        if consumer_level > value.deepest_use:
+            value.deepest_use = consumer_level
+        value.uses += 1
+
+    def remove(self, location: int) -> Optional[LiveValue]:
+        """Delete a dead value (two-pass reclamation)."""
+        return self._values.pop(location, None)
+
+    def items(self) -> Iterator[Tuple[int, LiveValue]]:
+        """Iterate over live (location, value) pairs."""
+        return iter(self._values.items())

@@ -1,0 +1,96 @@
+"""Named machine models (paper section 2.3).
+
+    "By placing suitable constraints on the execution order, or the
+    resources available, we can throttle the DDG to match a particular
+    machine model."
+
+Each model bundles Paragraph switches into the constraint set of a machine
+class the paper's era was debating. They are deliberately coarse — the
+point is the *ordering* of what each machine class can extract from the
+same trace, not microarchitectural fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import AnalysisConfig
+from repro.core.resources import ResourceModel
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A named constraint bundle."""
+
+    name: str
+    description: str
+    config: AnalysisConfig
+
+
+def _models():
+    return [
+        MachineModel(
+            "scalar",
+            "in-order scalar pipeline: one instruction in flight",
+            AnalysisConfig(
+                window_size=1,
+                resources=ResourceModel(universal=1),
+                rename_registers=False,
+                rename_stack=False,
+                rename_data=False,
+            ),
+        ),
+        MachineModel(
+            "superscalar-4",
+            "4-wide out-of-order core: 32-entry window, register renaming, "
+            "real branch prediction, no memory renaming",
+            AnalysisConfig(
+                window_size=32,
+                resources=ResourceModel(universal=4),
+                rename_registers=True,
+                rename_stack=False,
+                rename_data=False,
+                branch_predictor="bimodal",
+            ),
+        ),
+        MachineModel(
+            "superscalar-16",
+            "aggressive 16-wide core: 256-entry window, register renaming, "
+            "gshare prediction, no memory renaming",
+            AnalysisConfig(
+                window_size=256,
+                resources=ResourceModel(universal=16),
+                rename_registers=True,
+                rename_stack=False,
+                rename_data=False,
+                branch_predictor="gshare",
+            ),
+        ),
+        MachineModel(
+            "restricted-dataflow",
+            "windowed dataflow machine: 4096-entry window, full renaming, "
+            "perfect control",
+            AnalysisConfig(window_size=4096),
+        ),
+        MachineModel(
+            "ideal-dataflow",
+            "the paper's abstract machine: full renaming, unlimited window "
+            "and resources, perfect control (Table 3 configuration)",
+            AnalysisConfig(),
+        ),
+    ]
+
+
+#: name -> :class:`MachineModel`, weakest machine first.
+MACHINE_MODELS: Dict[str, MachineModel] = {model.name: model for model in _models()}
+
+
+def machine_model(name: str) -> MachineModel:
+    """Look up a machine model by name."""
+    try:
+        return MACHINE_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine model {name!r}; choose from {', '.join(MACHINE_MODELS)}"
+        ) from None

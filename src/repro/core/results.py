@@ -1,0 +1,71 @@
+"""Analysis result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import AnalysisConfig
+from repro.core.lifetimes import LifetimeStats
+from repro.core.profile import ParallelismProfile
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one Paragraph pass produces.
+
+    Attributes:
+        records_processed: dynamic trace records consumed (all classes).
+        placed_operations: operations placed in the DDG (value-creating
+            instructions, plus conservative system calls).
+        critical_path_length: DDG height — the minimum number of abstract
+            machine steps to execute the program.
+        profile: the parallelism profile (``None`` if not collected).
+        syscalls: system-call records seen.
+        firewalls: firewalls inserted (syscalls + mispredictions).
+        branches: conditional branch records seen.
+        mispredictions: mispredicted conditional branches (0 under perfect
+            control flow).
+        peak_live_well: maximum simultaneous live-well entries (the paper's
+            32-MByte working-set anecdote, measured in values).
+        lifetimes: value lifetime/sharing stats (``None`` if not collected).
+        config: the configuration that produced this result.
+    """
+
+    records_processed: int
+    placed_operations: int
+    critical_path_length: int
+    profile: Optional[ParallelismProfile]
+    syscalls: int
+    firewalls: int
+    branches: int
+    mispredictions: int
+    peak_live_well: int
+    lifetimes: Optional[LifetimeStats]
+    config: AnalysisConfig
+
+    @property
+    def available_parallelism(self) -> float:
+        """Placed operations per critical-path level — the paper's headline
+        metric (speedup of an ideal machine executing the DDG)."""
+        if self.critical_path_length == 0:
+            return 0.0
+        return self.placed_operations / self.critical_path_length
+
+    def summary(self) -> str:
+        """One-line textual summary."""
+        return (
+            f"records={self.records_processed} placed={self.placed_operations} "
+            f"critical_path={self.critical_path_length} "
+            f"parallelism={self.available_parallelism:.2f} "
+            f"[{self.config.describe()}]"
+        )
+
+
+def measurement_error(conservative: AnalysisResult, optimistic: AnalysisResult) -> float:
+    """The paper's Table 3 "maximum measurement error": how much available
+    parallelism the conservative system-call assumption hides, as a fraction
+    of the optimistic value."""
+    if optimistic.available_parallelism == 0:
+        return 0.0
+    return 1.0 - conservative.available_parallelism / optimistic.available_parallelism

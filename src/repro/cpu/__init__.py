@@ -1,0 +1,16 @@
+"""Tracing CPU simulator (the Pixie/DECstation substitute)."""
+
+from repro.cpu.errors import MachineError, ProgramExit
+from repro.cpu.machine import Machine, RunResult, run_and_trace
+from repro.cpu.memory import Memory
+from repro.cpu.syscalls import SyscallHandler
+
+__all__ = [
+    "MachineError",
+    "ProgramExit",
+    "Machine",
+    "RunResult",
+    "run_and_trace",
+    "Memory",
+    "SyscallHandler",
+]

@@ -1,0 +1,22 @@
+"""Simulator diagnostics and control-flow exceptions."""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """A runtime fault in the simulated program (bad address, divide by
+    zero, unaligned control transfer, ...)."""
+
+    def __init__(self, message: str, pc: int = -1):
+        self.pc = pc
+        if pc >= 0:
+            message = f"pc={pc}: {message}"
+        super().__init__(message)
+
+
+class ProgramExit(Exception):
+    """Raised internally when the program executes the exit syscall."""
+
+    def __init__(self, code: int = 0):
+        self.code = code
+        super().__init__(f"program exited with code {code}")

@@ -1,0 +1,49 @@
+"""Sparse word-addressed memory with segment bookkeeping.
+
+Memory is a ``dict`` from word address to value (int or float). Reads of
+untouched words return 0 — the analyzer independently treats first-touch
+locations as pre-existing values, so simulator and analyzer agree on
+initial-state semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.cpu.errors import MachineError
+from repro.isa.layout import STACK_SEGMENT_FLOOR
+from repro.trace.segments import SegmentMap
+
+Value = Union[int, float]
+
+
+class Memory:
+    """Simulated memory plus the heap break for ``sbrk``."""
+
+    def __init__(self, program_data: Dict[int, Value], data_end: int, segments: SegmentMap):
+        self.words: Dict[int, Value] = dict(program_data)
+        self.segments = segments
+        #: Next free heap word; the heap begins where static data ends.
+        self.brk = data_end
+
+    def sbrk(self, count: int) -> int:
+        """Allocate ``count`` words on the heap, returning their base address."""
+        if count < 0:
+            raise MachineError(f"sbrk of negative size: {count}")
+        base = self.brk
+        if base + count > STACK_SEGMENT_FLOOR:
+            raise MachineError("heap exhausted (collides with stack segment)")
+        self.brk += count
+        return base
+
+    def load(self, address: int) -> Value:
+        """Read one word (0 if untouched)."""
+        if address < 0:
+            raise MachineError(f"negative address: {address}")
+        return self.words.get(address, 0)
+
+    def store(self, address: int, value: Value) -> None:
+        """Write one word."""
+        if address < 0:
+            raise MachineError(f"negative address: {address}")
+        self.words[address] = value

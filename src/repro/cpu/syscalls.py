@@ -1,0 +1,83 @@
+"""System-call layer.
+
+The syscall number travels in ``v0``; arguments in ``a0`` / ``f12``. This is
+a deliberately small, deterministic set — enough for the workloads to do I/O
+(so that the *System Calls Stall* switch has something to firewall) and to
+allocate heap storage.
+
+=====  ============  =========================================
+#      Name          Effect
+=====  ============  =========================================
+1      print_int     append ``a0`` to the output list
+2      print_float   append ``f12`` to the output list
+5      read_int      pop next int input -> ``v0``
+6      read_float    pop next float input -> ``f0``
+9      sbrk          allocate ``a0`` heap words -> ``v0``
+10     exit          stop execution (code ``a0``)
+11     print_char    append ``chr(a0)`` to the output list
+=====  ============  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cpu.errors import MachineError, ProgramExit
+from repro.cpu.memory import Memory
+from repro.isa.registers import REG_A0, REG_V0, fp_reg
+
+SYS_PRINT_INT = 1
+SYS_PRINT_FLOAT = 2
+SYS_READ_INT = 5
+SYS_READ_FLOAT = 6
+SYS_SBRK = 9
+SYS_EXIT = 10
+SYS_PRINT_CHAR = 11
+
+FP_ARG = fp_reg(12)
+FP_RESULT = fp_reg(0)
+
+
+class SyscallHandler:
+    """Dispatches system calls against machine state."""
+
+    def __init__(
+        self,
+        int_inputs: Optional[Sequence[int]] = None,
+        float_inputs: Optional[Sequence[float]] = None,
+    ):
+        self._int_inputs = list(int_inputs or [])
+        self._float_inputs = list(float_inputs or [])
+        self._int_pos = 0
+        self._float_pos = 0
+        self.output: List[object] = []
+
+    def dispatch(self, regs: List, memory: Memory) -> None:
+        """Execute the syscall selected by ``v0``. May raise ProgramExit."""
+        number = regs[REG_V0]
+        if number == SYS_PRINT_INT:
+            self.output.append(int(regs[REG_A0]))
+        elif number == SYS_PRINT_FLOAT:
+            self.output.append(float(regs[FP_ARG]))
+        elif number == SYS_READ_INT:
+            if self._int_pos >= len(self._int_inputs):
+                raise MachineError("read_int: input exhausted")
+            regs[REG_V0] = self._int_inputs[self._int_pos]
+            self._int_pos += 1
+        elif number == SYS_READ_FLOAT:
+            if self._float_pos >= len(self._float_inputs):
+                raise MachineError("read_float: input exhausted")
+            regs[FP_RESULT] = self._float_inputs[self._float_pos]
+            self._float_pos += 1
+        elif number == SYS_SBRK:
+            regs[REG_V0] = memory.sbrk(int(regs[REG_A0]))
+        elif number == SYS_EXIT:
+            raise ProgramExit(int(regs[REG_A0]))
+        elif number == SYS_PRINT_CHAR:
+            self.output.append(chr(int(regs[REG_A0]) & 0x10FFFF))
+        else:
+            raise MachineError(f"unknown syscall number: {number}")
+
+    def writes_register(self, number: int) -> bool:
+        """True if the syscall writes ``v0``/``f0`` (used for trace dests)."""
+        return number in (SYS_READ_INT, SYS_READ_FLOAT, SYS_SBRK)

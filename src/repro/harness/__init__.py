@@ -1,0 +1,15 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.experiments import EXPERIMENTS, ExperimentOutput, run_experiment
+from repro.harness.runner import DEFAULT_CAP, TraceStore, workload_trace
+from repro.harness.tables import Table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "run_experiment",
+    "DEFAULT_CAP",
+    "TraceStore",
+    "workload_trace",
+    "Table",
+]

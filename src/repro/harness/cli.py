@@ -1,0 +1,162 @@
+"""Command-line interface: ``paragraph`` (or ``python -m repro.harness``).
+
+Subcommands:
+
+- ``list`` — available experiments and workloads;
+- ``run`` — run experiments and print/save their tables;
+- ``analyze`` — ad-hoc Paragraph analysis of one workload under explicit
+  switches (the direct equivalent of invoking the original tool).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.runner import DEFAULT_CAP, TraceStore
+from repro.workloads.suite import SUITE_NAMES, load_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="paragraph",
+        description=(
+            "Dynamic dependency analysis of ordinary programs "
+            "(Austin & Sohi, ISCA 1992 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    run = sub.add_parser("run", help="run experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids (or 'all'): {', '.join(EXPERIMENTS)}",
+    )
+    run.add_argument("--cap", type=int, default=DEFAULT_CAP, help="instruction cap")
+    run.add_argument("--out", help="directory for .txt/.csv artifacts")
+    run.add_argument(
+        "--trace-dir", help="directory for cached binary traces (reused across runs)"
+    )
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write EXPERIMENTS.md"
+    )
+    report.add_argument("--cap", type=int, default=DEFAULT_CAP)
+    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.add_argument("--trace-dir", help="directory for cached binary traces")
+
+    adhoc = sub.add_parser("analyze", help="analyze one workload or trace file")
+    adhoc.add_argument(
+        "workload",
+        help=f"a suite workload ({', '.join(SUITE_NAMES)}) or a .pgt trace file",
+    )
+    adhoc.add_argument("--cap", type=int, default=DEFAULT_CAP)
+    adhoc.add_argument("--window", type=int, default=None)
+    adhoc.add_argument(
+        "--syscalls", choices=["conservative", "optimistic"], default="conservative"
+    )
+    adhoc.add_argument("--no-rename-registers", action="store_true")
+    adhoc.add_argument("--no-rename-stack", action="store_true")
+    adhoc.add_argument("--no-rename-data", action="store_true")
+    adhoc.add_argument("--branch-predictor", default=None)
+    adhoc.add_argument("--profile", action="store_true", help="print the ASCII profile")
+    adhoc.add_argument("--lifetimes", action="store_true")
+    return parser
+
+
+def _command_list() -> int:
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("workloads:")
+    for name in SUITE_NAMES:
+        workload = load_workload(name)
+        print(f"  {name:12s} ({workload.analog_of}): {workload.description}")
+    return 0
+
+
+def _command_run(args) -> int:
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    store = TraceStore(args.trace_dir)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        output = run_experiment(name, store, args.cap)
+        text = output.render()
+        print(text)
+        print()
+        if args.out:
+            with open(os.path.join(args.out, f"{name}.txt"), "w") as handle:
+                handle.write(text + "\n")
+            for index, table in enumerate(output.tables):
+                suffix = "" if len(output.tables) == 1 else f".{index}"
+                path = os.path.join(args.out, f"{name}{suffix}.csv")
+                with open(path, "w") as handle:
+                    handle.write(table.to_csv() + "\n")
+    return 0
+
+
+def _command_analyze(args) -> int:
+    if args.workload.endswith(".pgt"):
+        from repro.trace.io import read_trace_file
+
+        trace = read_trace_file(args.workload).head(args.cap)
+    else:
+        workload = load_workload(args.workload)
+        trace = workload.trace(max_instructions=args.cap)
+    config = AnalysisConfig(
+        syscall_policy=args.syscalls,
+        rename_registers=not args.no_rename_registers,
+        rename_stack=not args.no_rename_stack,
+        rename_data=not args.no_rename_data,
+        window_size=args.window,
+        branch_predictor=args.branch_predictor,
+        collect_lifetimes=args.lifetimes,
+    )
+    result = analyze(trace, config)
+    print(result.summary())
+    print(f"  placed operations : {result.placed_operations:,}")
+    print(f"  critical path     : {result.critical_path_length:,}")
+    print(f"  available ILP     : {result.available_parallelism:.2f}")
+    print(f"  syscalls/firewalls: {result.syscalls}/{result.firewalls}")
+    print(f"  peak live well    : {result.peak_live_well:,}")
+    if result.mispredictions:
+        print(f"  mispredictions    : {result.mispredictions:,}")
+    if args.profile and result.profile is not None:
+        print(result.profile.ascii_plot())
+    if args.lifetimes and result.lifetimes is not None:
+        stats = result.lifetimes
+        print(
+            f"  lifetimes: mean={stats.mean_lifetime:.1f} "
+            f"p90={stats.quantile_lifetime(0.9)} "
+            f"sharing={stats.mean_sharing:.2f}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "report":
+        from repro.harness.report import write_report
+
+        write_report(args.out, args.cap, TraceStore(args.trace_dir))
+        print(f"wrote {args.out}")
+        return 0
+    return _command_analyze(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

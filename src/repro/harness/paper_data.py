@@ -1,0 +1,48 @@
+"""Published numbers from the paper, for side-by-side comparison columns.
+
+Keyed by the SPEC benchmark name (our workloads carry ``analog_of``).
+Sources: Tables 2, 3 and 4 of Austin & Sohi (ISCA 1992).
+"""
+
+#: Table 3: (syscalls, conservative CP, conservative AP, optimistic CP,
+#: optimistic AP, max measurement error)
+PAPER_TABLE3 = {
+    "cc1": (3991, 1_321_698, 36.21, 903_622, 52.95, 0.32),
+    "doduc": (428, 877_872, 103.59, 848_052, 107.22, 0.03),
+    "eqntott": (44, 109_088, 782.52, 78_774, 942.35, 0.16),
+    "espresso": (91, 742_678, 132.97, 560_225, 176.26, 0.25),
+    "fpppp": (30, 49_240, 1999.86, 48_484, 2032.78, 0.02),
+    "matrix300": (34, 4_191, 23302.60, 2_839, 33748.58, 0.31),
+    "nasker": (23, 1_885_077, 50.97, 1_884_388, 50.99, 0.00),
+    "spice2g6": (1849, 746_124, 111.45, 600_633, 138.44, 0.19),
+    "tomcatv": (24, 17_008, 5806.13, 14_559, 6800.33, 0.15),
+    "xlisp": (3470, 5_650_548, 13.28, 5_640_833, 13.30, 0.00),
+}
+
+#: Table 4: AP under (no renaming, regs renamed, regs+stack, regs+mem)
+PAPER_TABLE4 = {
+    "cc1": (3.65, 33.70, 36.19, 36.21),
+    "doduc": (1.62, 29.97, 103.59, 103.59),
+    "eqntott": (3.67, 532.69, 538.87, 782.52),
+    "espresso": (2.53, 42.46, 42.49, 132.97),
+    "fpppp": (1.69, 18.34, 81.32, 1999.86),
+    "matrix300": (2.05, 1235.74, 23302.59, 23302.60),
+    "nasker": (2.58, 50.84, 50.85, 50.97),
+    "spice2g6": (1.85, 39.67, 57.36, 111.45),
+    "tomcatv": (1.52, 66.63, 5772.38, 5806.13),
+    "xlisp": (3.32, 13.27, 13.28, 13.28),
+}
+
+#: Table 2: (total instructions in trace, instructions analyzed)
+PAPER_TABLE2 = {
+    "cc1": (59_313_327, 59_313_327),
+    "doduc": (1_619_374_300, 100_000_000),
+    "eqntott": (1_241_913_236, 100_000_000),
+    "espresso": (119_134_865, 119_134_865),
+    "fpppp": (2_396_679_406, 100_000_000),
+    "matrix300": (2_766_534_109, 100_000_000),
+    "nasker": (919_571_920, 100_000_000),
+    "spice2g6": (28_696_843_509, 100_000_000),
+    "tomcatv": (1_872_460_468, 100_000_000),
+    "xlisp": (1_234_252_567, 100_000_000),
+}

@@ -1,0 +1,225 @@
+"""EXPERIMENTS.md generator: paper-vs-measured for every table and figure.
+
+``python -m repro.harness report [--cap N] [--out EXPERIMENTS.md]`` runs
+every experiment and writes a single markdown report with the reproduced
+tables, the paper's published numbers, and automatic shape commentary —
+so the document in the repository is regenerable from one command.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.paper_data import PAPER_TABLE4
+from repro.harness.runner import DEFAULT_CAP, TraceStore
+from repro.workloads.suite import all_workloads
+
+_PREAMBLE = """# EXPERIMENTS — paper vs. measured
+
+Reproduction record for Austin & Sohi, *Dynamic Dependency Analysis of
+Ordinary Programs* (ISCA 1992). Regenerate with:
+
+```bash
+python -m repro.harness report --cap {cap} --out EXPERIMENTS.md
+```
+
+Setup: each workload is a SPEC-analog MiniC program compiled by this
+repository's compiler and traced on its simulator; the first {cap:,}
+dynamic instructions are analyzed (the paper analyzed up to 100M MIPS
+instructions per benchmark, ~400x more). **Absolute values are therefore
+not comparable; shapes are.** The per-experiment notes state which shape
+properties the paper reports and whether they hold here; the same
+properties are asserted mechanically by `benchmarks/`.
+
+Workload key: every workload name is the SPEC benchmark it mirrors plus
+`x` (e.g. `matrix300x` ~ `matrix300`); DESIGN.md section 5 documents how
+each analog reproduces its original's dependency character.
+"""
+
+_SECTIONS = [
+    (
+        "table1",
+        "Table 1 — Instruction class operation times",
+        "Configuration, not measurement: our latency table equals the "
+        "paper's exactly (asserted).",
+    ),
+    (
+        "table2",
+        "Table 2 — Workloads analyzed",
+        "Stands in for the paper's benchmark inventory. Our full runs are "
+        "10^2-10^4x shorter than SPEC's (the simulator and analyzer are "
+        "pure Python); the analysis cap column mirrors the paper's 100M "
+        "truncation policy.",
+    ),
+    (
+        "table3",
+        "Table 3 — Dataflow limit (conservative vs. optimistic syscalls)",
+        None,  # generated dynamically below
+    ),
+    (
+        "fig7",
+        "Figure 7 — Parallelism profiles",
+        "The paper's reading — parallelism is bursty, with bursts of many "
+        "operations per level between droughts — is quantified here by the "
+        "coefficient of variation; ASCII renderings and CSV series for all "
+        "ten profiles are written to results/ by the fig7 benchmark.",
+    ),
+    (
+        "table4",
+        "Table 4 — Renaming conditions (the paper's centerpiece)",
+        None,
+    ),
+    (
+        "fig8",
+        "Figure 8 — Window size vs. exposed parallelism",
+        "Paper findings reproduced: exposure is monotone in window size; "
+        "windows of a few hundred instructions yield modest parallelism "
+        "for every workload; low-ILP programs saturate by ~10^3-10^4 while "
+        "high-ILP programs are still climbing at the largest windows.",
+    ),
+    (
+        "lifetimes",
+        "Section 2.3 — Value lifetimes and degree of sharing",
+        "The paper describes these distributions as obtainable from the "
+        "DDG without publishing numbers; recorded here for completeness.",
+    ),
+    (
+        "abl-resources",
+        "Ablation — functional-unit limits (generalizes Figure 4)",
+        "Available parallelism is capped by and monotone in the FU count, "
+        "as the Figure 4 example implies.",
+    ),
+    (
+        "abl-branch",
+        "Ablation — branch-prediction firewalls",
+        "The paper argues real predictors cannot expose hundreds of "
+        "instructions; under misprediction firewalls every predictor falls "
+        "below the perfect-control numbers published in the paper.",
+    ),
+    (
+        "abl-twopass",
+        "Ablation — trace-processing method 1 vs. method 2 (section 3.2)",
+        "Identical analyses; the reverse-annotated pass shrinks the live "
+        "well's working set (the paper needed 32 MB with method 2).",
+    ),
+    (
+        "abl-baselines",
+        "Baselines — prior work (section 3.1)",
+        "The average-only (Wall/Tjaden-Flynn-style) reimplementation "
+        "agrees with Paragraph exactly on every trace; Kumar-style "
+        "statement granularity bundles several instructions per node, "
+        "hiding intra-statement parallelism as the paper argues.",
+    ),
+    (
+        "abl-disambiguation",
+        "Ablation — memory disambiguation (section 3.1 axis)",
+        "Losing alias information costs each workload a large factor of "
+        "its parallelism, reproducing the perfect-vs-none spread of the "
+        "earlier limit studies the paper cites.",
+    ),
+    (
+        "abl-latency",
+        "Ablation — operation latencies (section 3.1 axis)",
+        "Latency scaling shifts available parallelism per workload in the "
+        "direction of its bottleneck: chain-bound workloads lose, "
+        "wide workloads gain levels to fill.",
+    ),
+    (
+        "machines",
+        "Machine models — throttling the DDG (section 2.3)",
+        "The paper's 'suitably constrained DDG' idea as named presets: the "
+        "same trace analyzed under a scalar pipeline, two superscalar "
+        "cores, a windowed dataflow machine, and the paper's ideal "
+        "abstract machine. Each class strictly dominates the weaker ones.",
+    ),
+    (
+        "abl-compiler",
+        "Ablation — compiler optimization (section 3.2, caveat 2)",
+        "The paper warns that the compiler exerts a second-order effect on "
+        "measured parallelism, citing MIPS loop unrolling weakening the "
+        "loop-counter recurrences. Our optimizer reproduces exactly that: "
+        "with 2-4x unrolling (plus folding, simplification and strength "
+        "reduction) the counter-bound workloads gain parallelism while "
+        "chain-bound ones barely move.",
+    ),
+]
+
+
+def _table3_commentary(output) -> str:
+    rows = {row[0]: row for row in output.tables[0].rows}
+    parallelism = {name: row[3] for name, row in rows.items()}
+    spread = max(parallelism.values()) / min(parallelism.values())
+    lowest = min(parallelism, key=parallelism.get)
+    worst_error = max(row[6] for row in rows.values())
+    return (
+        f"Paper shape checks: available parallelism spans a factor of "
+        f"{spread:,.0f} across the suite (paper: 13.28 to 23,302); the "
+        f"least-parallel workload is `{lowest}` (paper: xlisp, for the "
+        f"interpreter-recurrence reason discussed in section 4); the "
+        f"conservative-syscall measurement error peaks at "
+        f"{worst_error:.2f} (paper: 0.32). Our syscall-error columns are "
+        f"larger than the paper's for the bursty FP workloads because a "
+        f"{DEFAULT_CAP:,}-instruction window amortizes each firewall over "
+        f"far fewer instructions than 100M."
+    )
+
+
+def _table4_commentary(output) -> str:
+    rows = {row[0]: row[1:5] for row in output.tables[0].rows}
+    by_analog = {w.name: w.analog_of for w in all_workloads()}
+    lines = [
+        "Per-workload shape vs. the paper (ratios of adjacent renaming "
+        "levels; the paper's ratios in parentheses):",
+        "",
+    ]
+    for name, (none, regs, stack, full) in rows.items():
+        paper = PAPER_TABLE4[by_analog[name]]
+        ratio_stack = stack / regs if regs else float("nan")
+        ratio_full = full / stack if stack else float("nan")
+        paper_stack = paper[2] / paper[1]
+        paper_full = paper[3] / paper[2]
+        lines.append(
+            f"- `{name}`: stack-renaming gain {ratio_stack:.1f}x "
+            f"({paper_stack:.1f}x), memory-renaming gain {ratio_full:.1f}x "
+            f"({paper_full:.1f}x)"
+        )
+    lines.append("")
+    lines.append(
+        "The qualitative pattern matches the paper row for row: nothing "
+        "without renaming; registers recover most programs; the FORTRAN "
+        "analogs (matrix300x/tomcatvx/doducx) additionally need the stack "
+        "renamed; espressox/fppppx need full memory renaming; "
+        "naskerx/xlispx are insensitive beyond registers. Magnitudes are "
+        "compressed relative to the paper because short traces bound the "
+        "attainable parallelism (a 250k-instruction trace cannot show "
+        "23,000-wide levels) and our workloads are analogs."
+    )
+    return "\n".join(lines)
+
+
+def generate_report(cap: int = DEFAULT_CAP, store: TraceStore = None) -> str:
+    """Run every experiment and render the markdown report."""
+    if store is None:
+        store = TraceStore()
+    parts: List[str] = [_PREAMBLE.format(cap=cap)]
+    for name, title, commentary in _SECTIONS:
+        output = run_experiment(name, store, cap)
+        parts.append(f"## {title}\n")
+        if name == "table3":
+            commentary = _table3_commentary(output)
+        elif name == "table4":
+            commentary = _table4_commentary(output)
+        if commentary:
+            parts.append(commentary + "\n")
+        for table in output.tables:
+            parts.append("```\n" + table.render() + "\n```\n")
+    unused = set(EXPERIMENTS) - {name for name, _, _ in _SECTIONS}
+    assert not unused, f"experiments missing from the report: {unused}"
+    return "\n".join(parts)
+
+
+def write_report(path: str, cap: int = DEFAULT_CAP, store: TraceStore = None) -> None:
+    """Generate and write the report to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(generate_report(cap, store))

@@ -1,0 +1,75 @@
+"""Trace generation with caching.
+
+Every experiment analyzes the same capped traces under different Paragraph
+configurations (the paper likewise captured a Pixie trace once and reran
+the analyzer). The store keeps traces in memory for the process lifetime
+and optionally persists them to disk in the binary trace format.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.io import read_trace_file, write_trace_file
+from repro.workloads.suite import load_workload
+
+#: The paper analyzed at most 100M instructions per benchmark; our default
+#: budget scales that to pure-Python analysis speeds.
+DEFAULT_CAP = 250_000
+
+
+class TraceStore:
+    """Caches workload traces by (name, cap)."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self._memory: Dict[Tuple[str, int], TraceBuffer] = {}
+        self._lengths: Dict[str, int] = {}
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def _path(self, name: str, cap: int) -> Optional[str]:
+        if not self.directory:
+            return None
+        return os.path.join(self.directory, f"{name}.{cap}.pgt")
+
+    def trace(self, workload, cap: int = DEFAULT_CAP) -> TraceBuffer:
+        """The first ``cap`` dynamic instructions of ``workload``."""
+        if isinstance(workload, str):
+            workload = load_workload(workload)
+        key = (workload.name, cap)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        path = self._path(workload.name, cap)
+        if path and os.path.exists(path):
+            trace = read_trace_file(path)
+        else:
+            trace = workload.trace(max_instructions=cap)
+            if path:
+                write_trace_file(path, trace)
+        self._memory[key] = trace
+        return trace
+
+    def full_run_length(self, workload) -> int:
+        """Dynamic instruction count of the complete (untraced) run — the
+        paper's "Total Instructions in Trace" column."""
+        if isinstance(workload, str):
+            workload = load_workload(workload)
+        cached = self._lengths.get(workload.name)
+        if cached is not None:
+            return cached
+        result, _ = workload.run(max_instructions=20_000_000, trace=False)
+        self._lengths[workload.name] = result.executed
+        return result.executed
+
+
+#: Shared default store (in-memory only).
+DEFAULT_STORE = TraceStore()
+
+
+def workload_trace(name: str, cap: int = DEFAULT_CAP) -> TraceBuffer:
+    """Convenience accessor against the default store."""
+    return DEFAULT_STORE.trace(name, cap)

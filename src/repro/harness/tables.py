@@ -1,0 +1,60 @@
+"""Plain-text table and CSV rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def _format_cell(value, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 10000:
+            return f"{value:,.1f}"
+        return format(value, floatfmt)
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """One experiment table, renderable as text or CSV."""
+
+    title: str
+    headers: List[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells) -> None:
+        """Append one row."""
+        self.rows.append(list(cells))
+
+    def render(self, floatfmt: str = ".2f") -> str:
+        """Monospace rendering with aligned columns."""
+        cells = [[_format_cell(c, floatfmt) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (no quoting needed for our content)."""
+        out = [",".join(self.headers)]
+        for row in self.rows:
+            out.append(",".join(str(c) for c in row))
+        return "\n".join(out)

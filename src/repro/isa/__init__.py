@@ -1,0 +1,60 @@
+"""MIPS-like instruction-set definition used by the tracing simulator.
+
+This package defines the target ISA of the reproduction: a word-addressed
+RISC with 32 integer and 32 floating-point registers, the operation classes
+of the paper's Table 1, and a compact storage-location encoding shared by the
+trace layer and the Paragraph analyzer.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.locations import (
+    MEM_BASE,
+    NUM_LOCATIONS_RESERVED,
+    format_location,
+    is_memory_location,
+    is_register_location,
+    memory_address,
+    memory_location,
+)
+from repro.isa.opcodes import OPCODES, OpSpec, opcode_spec
+from repro.isa.opclasses import PLACED_CLASSES, OpClass
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_FP,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    fp_reg,
+    int_reg,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "Instruction",
+    "MEM_BASE",
+    "NUM_LOCATIONS_RESERVED",
+    "format_location",
+    "is_memory_location",
+    "is_register_location",
+    "memory_address",
+    "memory_location",
+    "OPCODES",
+    "OpSpec",
+    "opcode_spec",
+    "PLACED_CLASSES",
+    "OpClass",
+    "FP_REG_BASE",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "REG_FP",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "fp_reg",
+    "int_reg",
+    "parse_register",
+    "register_name",
+]

@@ -1,0 +1,92 @@
+"""The :class:`Instruction` container produced by the assembler.
+
+Operands are stored in fixed slots with labels already resolved:
+
+==========  =========================================================
+Slot        Meaning by format
+==========  =========================================================
+``dst``     destination register location (``rrr``/``rri``/``ri``/
+            ``rl``/``fff``/``ff``/``rff``/``fr``/``rf``/``fi``);
+            for ``rm``/``fm`` it holds the data register (destination
+            of a load, *source* of a store)
+``src1``    first source register location; base register for
+            ``rm``/``fm``; compared register for ``rb``; jump-target
+            register for ``r``
+``src2``    second source register location
+``imm``     immediate (int, or float for ``fi``); memory offset in
+            words for ``rm``/``fm``; resolved address for ``la``
+``target``  resolved instruction index for branches/jumps
+==========  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.isa.opcodes import opcode_spec
+from repro.isa.registers import register_name
+
+
+@dataclass
+class Instruction:
+    """One static instruction with resolved operands."""
+
+    op: str
+    dst: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: Union[int, float, None] = None
+    target: Optional[int] = None
+    #: Source-statement id assigned by the MiniC compiler (``-1`` when the
+    #: program came from hand-written assembly). Used by the Kumar-style
+    #: statement-granularity baseline.
+    stmt_id: int = -1
+    #: Source line in the assembly text, for diagnostics.
+    line: int = 0
+
+    @property
+    def spec(self):
+        """The :class:`~repro.isa.opcodes.OpSpec` for this opcode."""
+        return opcode_spec(self.op)
+
+    def __str__(self) -> str:
+        return format_instruction(self)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Disassemble one instruction back to assembly syntax."""
+    fmt = opcode_spec(instr.op).fmt
+    op = instr.op
+    if fmt == "rrr" or fmt == "fff":
+        return (
+            f"{op} {register_name(instr.dst)}, "
+            f"{register_name(instr.src1)}, {register_name(instr.src2)}"
+        )
+    if fmt == "rri":
+        if op == "move":  # assembled with an implicit immediate of 0
+            return f"{op} {register_name(instr.dst)}, {register_name(instr.src1)}"
+        return f"{op} {register_name(instr.dst)}, {register_name(instr.src1)}, {instr.imm}"
+    if fmt in ("ri", "rl", "fi"):
+        return f"{op} {register_name(instr.dst)}, {instr.imm}"
+    if fmt in ("ff", "fr", "rf"):
+        return f"{op} {register_name(instr.dst)}, {register_name(instr.src1)}"
+    if fmt == "rff":
+        return (
+            f"{op} {register_name(instr.dst)}, "
+            f"{register_name(instr.src1)}, {register_name(instr.src2)}"
+        )
+    if fmt in ("rm", "fm"):
+        return f"{op} {register_name(instr.dst)}, {instr.imm}({register_name(instr.src1)})"
+    if fmt == "rrb":
+        return (
+            f"{op} {register_name(instr.src1)}, "
+            f"{register_name(instr.src2)}, {instr.target}"
+        )
+    if fmt == "rb":
+        return f"{op} {register_name(instr.src1)}, {instr.target}"
+    if fmt == "b":
+        return f"{op} {instr.target}"
+    if fmt == "r":
+        return f"{op} {register_name(instr.src1)}"
+    return op

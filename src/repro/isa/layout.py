@@ -1,0 +1,21 @@
+"""Memory layout of the abstract machine (word-addressed).
+
+The address space is split into three segments; the split is what gives the
+*Rename Stack* vs. *Rename Data* switches their meaning (paper section 3.2):
+
+- **data**: globals and compiler-emitted constants, laid out from
+  :data:`DATA_BASE_WORDS` upward by the assembler;
+- **heap**: ``sbrk``-allocated storage, growing upward from the end of the
+  data segment (classified with data as "non-stack");
+- **stack**: grows downward from :data:`STACK_TOP_WORDS`; every address at or
+  above :data:`STACK_SEGMENT_FLOOR` is classified as stack.
+"""
+
+#: First word address of the data segment.
+DATA_BASE_WORDS = 0x1000
+
+#: Initial stack pointer (one past the highest stack word).
+STACK_TOP_WORDS = 1 << 20
+
+#: Addresses at or above this word address belong to the stack segment.
+STACK_SEGMENT_FLOOR = 1 << 19

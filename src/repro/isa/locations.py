@@ -1,0 +1,56 @@
+"""Storage-location encoding shared by traces and the analyzer.
+
+Paragraph's live well is keyed by *storage location*: a register or a memory
+word. We encode every location as a single non-negative integer so that the
+analyzer's hot loop works with plain ``dict[int, ...]`` lookups:
+
+- ``0 .. 31``   integer registers
+- ``32 .. 63``  floating-point registers
+- ``64 + a``    the memory word at word-address ``a``
+
+The renaming switches classify memory locations further into *stack* and
+*non-stack* (data/heap) segments; that classification is done by address
+against the trace's segment map (:mod:`repro.trace.segments`), not baked into
+the encoding.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import FP_REG_BASE, NUM_FP_REGS, register_name
+
+#: First memory location id; everything below is a register.
+MEM_BASE = FP_REG_BASE + NUM_FP_REGS
+
+#: Number of reserved (register) location ids.
+NUM_LOCATIONS_RESERVED = MEM_BASE
+
+
+def memory_location(word_address: int) -> int:
+    """Encode a memory word address as a storage-location id."""
+    if word_address < 0:
+        raise ValueError(f"negative word address: {word_address}")
+    return MEM_BASE + word_address
+
+
+def memory_address(location: int) -> int:
+    """Decode a memory storage-location id back to its word address."""
+    if location < MEM_BASE:
+        raise ValueError(f"not a memory location: {location}")
+    return location - MEM_BASE
+
+
+def is_register_location(location: int) -> bool:
+    """True if the location id names a register."""
+    return 0 <= location < MEM_BASE
+
+
+def is_memory_location(location: int) -> bool:
+    """True if the location id names a memory word."""
+    return location >= MEM_BASE
+
+
+def format_location(location: int) -> str:
+    """Human-readable rendering, e.g. ``t0``, ``f2``, ``mem[0x1000]``."""
+    if is_register_location(location):
+        return register_name(location)
+    return f"mem[{memory_address(location):#x}]"

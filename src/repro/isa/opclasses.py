@@ -1,0 +1,54 @@
+"""Operation classes.
+
+Every opcode belongs to exactly one operation class. Classes serve two
+purposes:
+
+1. They index the latency table (the paper's Table 1): the class determines
+   ``top``, the number of DDG levels an operation spans before the value it
+   creates becomes available.
+2. They decide whether a dynamic instruction is *placed* in the DDG at all.
+   Branches and jumps steer control flow but create no values, so the paper
+   excludes them from the DDG and from the parallelism statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Latency/placement class of an operation (paper Table 1 rows)."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    FADD = 3
+    FMUL = 4
+    FDIV = 5
+    LOAD = 6
+    STORE = 7
+    SYSCALL = 8
+    BRANCH = 9
+    JUMP = 10
+    NOP = 11
+
+
+#: Classes whose dynamic instances become DDG nodes. Branches, jumps and nops
+#: create no values and are excluded (paper section 2.2 / 4).
+PLACED_CLASSES = frozenset(
+    {
+        OpClass.IALU,
+        OpClass.IMUL,
+        OpClass.IDIV,
+        OpClass.FADD,
+        OpClass.FMUL,
+        OpClass.FDIV,
+        OpClass.LOAD,
+        OpClass.STORE,
+        OpClass.SYSCALL,
+    }
+)
+
+#: Classes that transfer control. Used by trace statistics and the
+#: branch-prediction firewall models.
+CONTROL_CLASSES = frozenset({OpClass.BRANCH, OpClass.JUMP})

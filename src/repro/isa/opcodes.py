@@ -1,0 +1,134 @@
+"""Opcode registry.
+
+Each opcode carries an operand *format* string that drives both the assembler
+(parsing) and the simulator (operand decoding):
+
+==========  ==========================================  ==================
+Format      Operands                                    Example
+==========  ==========================================  ==================
+``rrr``     int rd, int rs, int rt                      ``add t0, t1, t2``
+``rri``     int rd, int rs, imm                         ``addi t0, t1, 4``
+``ri``      int rd, imm                                 ``li t0, 42``
+``rl``      int rd, label/imm (address)                 ``la t0, table``
+``fff``     fp fd, fp fs, fp ft                         ``fadd f0, f1, f2``
+``ff``      fp fd, fp fs                                ``fsqrt f0, f1``
+``rff``     int rd, fp fs, fp ft                        ``flt t0, f1, f2``
+``fr``      fp fd, int rs                               ``cvtif f0, t1``
+``rf``      int rd, fp fs                               ``cvtfi t0, f1``
+``rm``      int reg, offset(int base)                   ``lw t0, 4(sp)``
+``fm``      fp reg, offset(int base)                    ``lf f0, 8(sp)``
+``rrb``     int rs, int rt, label                       ``beq t0, t1, L``
+``rb``      int rs, label                               ``beqz t0, L``
+``b``       label                                       ``j loop``
+``r``       int rs                                      ``jr ra``
+``n``       (none)                                      ``syscall``
+==========  ==========================================  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opclasses import OpClass
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    name: str
+    opclass: OpClass
+    fmt: str
+    #: True for ``rm``/``fm`` opcodes that write memory (stores).
+    writes_memory: bool = False
+    #: True for branch opcodes whose outcome depends on register contents
+    #: (conditional); unconditional jumps are not predictable events.
+    conditional: bool = False
+
+
+def _spec(name, opclass, fmt, **kwargs):
+    return OpSpec(name=name, opclass=opclass, fmt=fmt, **kwargs)
+
+
+_SPECS = [
+    # Integer ALU, three-register.
+    _spec("add", OpClass.IALU, "rrr"),
+    _spec("sub", OpClass.IALU, "rrr"),
+    _spec("and", OpClass.IALU, "rrr"),
+    _spec("or", OpClass.IALU, "rrr"),
+    _spec("xor", OpClass.IALU, "rrr"),
+    _spec("nor", OpClass.IALU, "rrr"),
+    _spec("sll", OpClass.IALU, "rrr"),
+    _spec("srl", OpClass.IALU, "rrr"),
+    _spec("sra", OpClass.IALU, "rrr"),
+    _spec("slt", OpClass.IALU, "rrr"),
+    _spec("sle", OpClass.IALU, "rrr"),
+    _spec("sgt", OpClass.IALU, "rrr"),
+    _spec("sge", OpClass.IALU, "rrr"),
+    _spec("seq", OpClass.IALU, "rrr"),
+    _spec("sne", OpClass.IALU, "rrr"),
+    # Integer multiply/divide.
+    _spec("mul", OpClass.IMUL, "rrr"),
+    _spec("div", OpClass.IDIV, "rrr"),
+    _spec("rem", OpClass.IDIV, "rrr"),
+    # Integer ALU, immediate.
+    _spec("addi", OpClass.IALU, "rri"),
+    _spec("andi", OpClass.IALU, "rri"),
+    _spec("ori", OpClass.IALU, "rri"),
+    _spec("xori", OpClass.IALU, "rri"),
+    _spec("slti", OpClass.IALU, "rri"),
+    _spec("slli", OpClass.IALU, "rri"),
+    _spec("srli", OpClass.IALU, "rri"),
+    _spec("srai", OpClass.IALU, "rri"),
+    _spec("muli", OpClass.IMUL, "rri"),
+    # Register/immediate moves.
+    _spec("li", OpClass.IALU, "ri"),
+    _spec("la", OpClass.IALU, "rl"),
+    _spec("move", OpClass.IALU, "rri"),  # encoded as addi rd, rs, 0
+    # Floating point.
+    _spec("fadd", OpClass.FADD, "fff"),
+    _spec("fsub", OpClass.FADD, "fff"),
+    _spec("fmul", OpClass.FMUL, "fff"),
+    _spec("fdiv", OpClass.FDIV, "fff"),
+    _spec("fsqrt", OpClass.FDIV, "ff"),
+    _spec("fneg", OpClass.IALU, "ff"),
+    _spec("fabs", OpClass.IALU, "ff"),
+    _spec("fmov", OpClass.IALU, "ff"),
+    _spec("flt", OpClass.IALU, "rff"),
+    _spec("fle", OpClass.IALU, "rff"),
+    _spec("feq", OpClass.IALU, "rff"),
+    _spec("cvtif", OpClass.FADD, "fr"),
+    _spec("cvtfi", OpClass.FADD, "rf"),
+    _spec("lfi", OpClass.IALU, "fi"),  # load fp immediate
+    # Memory.
+    _spec("lw", OpClass.LOAD, "rm"),
+    _spec("sw", OpClass.STORE, "rm", writes_memory=True),
+    _spec("lf", OpClass.LOAD, "fm"),
+    _spec("sf", OpClass.STORE, "fm", writes_memory=True),
+    # Control transfer.
+    _spec("beq", OpClass.BRANCH, "rrb", conditional=True),
+    _spec("bne", OpClass.BRANCH, "rrb", conditional=True),
+    _spec("blez", OpClass.BRANCH, "rb", conditional=True),
+    _spec("bgtz", OpClass.BRANCH, "rb", conditional=True),
+    _spec("bltz", OpClass.BRANCH, "rb", conditional=True),
+    _spec("bgez", OpClass.BRANCH, "rb", conditional=True),
+    _spec("beqz", OpClass.BRANCH, "rb", conditional=True),
+    _spec("bnez", OpClass.BRANCH, "rb", conditional=True),
+    _spec("j", OpClass.JUMP, "b"),
+    _spec("jal", OpClass.JUMP, "b"),
+    _spec("jr", OpClass.JUMP, "r"),
+    # System.
+    _spec("syscall", OpClass.SYSCALL, "n"),
+    _spec("nop", OpClass.NOP, "n"),
+]
+
+#: Name -> :class:`OpSpec` for every opcode in the ISA.
+OPCODES = {spec.name: spec for spec in _SPECS}
+
+
+def opcode_spec(name: str) -> OpSpec:
+    """Look up an opcode, raising ``KeyError`` with a helpful message."""
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise KeyError(f"unknown opcode: {name!r}") from None

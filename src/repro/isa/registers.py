@@ -1,0 +1,126 @@
+"""Register file definition and naming.
+
+The ISA has 32 integer registers (``r0`` .. ``r31``) and 32 floating-point
+registers (``f0`` .. ``f31``). Storage-location ids place integer registers
+at 0..31 and floating-point registers at 32..63 (see
+:mod:`repro.isa.locations`).
+
+ABI conventions (a simplified MIPS o32):
+
+========  ==========  =====================================
+Register  Alias       Role
+========  ==========  =====================================
+r0        zero        hard-wired zero
+r2..r3    v0..v1      return values / syscall number
+r4..r7    a0..a3      arguments
+r8..r15   t0..t7      caller-saved temporaries
+r16..r23  s0..s7      callee-saved locals
+r24..r25  t8..t9      caller-saved temporaries
+r28       gp          global pointer (unused)
+r29       sp          stack pointer
+r30       fp          frame pointer
+r31       ra          return address
+========  ==========  =====================================
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+FP_REG_BASE = NUM_INT_REGS
+
+REG_ZERO = 0
+REG_V0 = 2
+REG_V1 = 3
+REG_A0 = 4
+REG_A1 = 5
+REG_A2 = 6
+REG_A3 = 7
+REG_GP = 28
+REG_SP = 29
+REG_FP = 30
+REG_RA = 31
+
+_ALIASES = {
+    "zero": 0,
+    "at": 1,
+    "v0": 2,
+    "v1": 3,
+    "a0": 4,
+    "a1": 5,
+    "a2": 6,
+    "a3": 7,
+    "t0": 8,
+    "t1": 9,
+    "t2": 10,
+    "t3": 11,
+    "t4": 12,
+    "t5": 13,
+    "t6": 14,
+    "t7": 15,
+    "s0": 16,
+    "s1": 17,
+    "s2": 18,
+    "s3": 19,
+    "s4": 20,
+    "s5": 21,
+    "s6": 22,
+    "s7": 23,
+    "t8": 24,
+    "t9": 25,
+    "k0": 26,
+    "k1": 27,
+    "gp": 28,
+    "sp": 29,
+    "fp": 30,
+    "ra": 31,
+}
+
+_ALIAS_BY_NUMBER = {}
+for _name, _num in _ALIASES.items():
+    _ALIAS_BY_NUMBER.setdefault(_num, _name)
+
+
+def int_reg(number: int) -> int:
+    """Return the storage-location id of integer register ``number``."""
+    if not 0 <= number < NUM_INT_REGS:
+        raise ValueError(f"integer register number out of range: {number}")
+    return number
+
+
+def fp_reg(number: int) -> int:
+    """Return the storage-location id of floating-point register ``number``."""
+    if not 0 <= number < NUM_FP_REGS:
+        raise ValueError(f"fp register number out of range: {number}")
+    return FP_REG_BASE + number
+
+
+def parse_register(text: str) -> int:
+    """Parse a register name into its storage-location id.
+
+    Accepts ``rN``/``fN`` numeric names, ABI aliases (``sp``, ``t0``...),
+    and an optional leading ``$``.
+    """
+    name = text.lower().lstrip("$")
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if len(name) >= 2 and name[0] in "rf" and name[1:].isdigit():
+        number = int(name[1:])
+        return int_reg(number) if name[0] == "r" else fp_reg(number)
+    raise ValueError(f"not a register name: {text!r}")
+
+
+def register_name(location: int, prefer_alias: bool = True) -> str:
+    """Return the assembly name for a register storage-location id."""
+    if 0 <= location < NUM_INT_REGS:
+        if prefer_alias and location in _ALIAS_BY_NUMBER:
+            return _ALIAS_BY_NUMBER[location]
+        return f"r{location}"
+    if FP_REG_BASE <= location < FP_REG_BASE + NUM_FP_REGS:
+        return f"f{location - FP_REG_BASE}"
+    raise ValueError(f"not a register location: {location}")
+
+
+def is_fp_location(location: int) -> bool:
+    """True if the location id names a floating-point register."""
+    return FP_REG_BASE <= location < FP_REG_BASE + NUM_FP_REGS

@@ -1,0 +1,48 @@
+"""MiniC: a small imperative language compiled to the reproduction ISA.
+
+The paper analyzes "ordinary programs ... written in an imperative language
+such as C or FORTRAN", compiled by the MIPS compilers with a finite register
+file. MiniC exists so the workloads in :mod:`repro.workloads` are real
+compiled programs with genuine register-reuse pressure, stack frames, and a
+data segment — the raw material of the storage-dependency (renaming)
+experiments.
+
+Language summary::
+
+    // globals (data segment); arrays are 1-D or 2-D, word elements
+    int n = 64;
+    float table[16] = {1.0, 2.0};
+    int grid[8][8];
+
+    int add(int a, int b) { return a + b; }
+
+    void main() {
+        int i;                 // scalar locals live in callee-saved regs
+        float acc[32];         // local arrays live on the stack
+        for (i = 0; i < 32; i = i + 1) { acc[i] = float(i) * 0.5; }
+        print_float(acc[31]);
+    }
+
+Types: ``int``, ``float`` (both one word), arrays thereof. Control flow:
+``if``/``else``, ``while``, ``for``, ``break``, ``continue``, ``return``.
+Operators: arithmetic, comparisons, ``&& ||`` (short-circuit), bitwise
+``& | ^ ~ << >>``, ``%``, casts ``int(e)``/``float(e)``. Builtins:
+``print_int``, ``print_float``, ``print_char``, ``read_int``,
+``read_float``, ``sqrt``. No pointers; index arrays instead (this keeps
+memory dependence exact while exercising every analyzer path).
+"""
+
+from repro.lang.compiler import compile_source, compile_to_assembly
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.sema import analyze_ast
+
+__all__ = [
+    "compile_source",
+    "compile_to_assembly",
+    "CompileError",
+    "tokenize",
+    "parse",
+    "analyze_ast",
+]

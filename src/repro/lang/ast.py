@@ -1,0 +1,205 @@
+"""MiniC abstract syntax tree.
+
+Expression nodes carry a ``type`` attribute filled in by semantic analysis
+(:mod:`repro.lang.sema`); the code generator relies on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.lang.typesys import ArrayType
+
+Type = Union[str, ArrayType]
+
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base expression; ``type`` is set by sema."""
+
+    line: int = 0
+    type: Optional[str] = field(default=None, compare=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    """Reference to a scalar variable or a bare array name (arrays only as
+    indexing bases)."""
+
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``name[i]`` or ``name[i][j]``."""
+
+    name: str = ""
+    indices: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Expr):
+    """Arithmetic/bitwise/comparison binary operation (not ``&&``/``||``)."""
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class LogicalOp(Expr):
+    """Short-circuit ``&&`` / ``||``."""
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary ``-``, ``!``, ``~``."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    """Implicit or explicit int<->float conversion; ``type`` is the target."""
+
+    operand: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    """Function or builtin call."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# -- statements -------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """Local variable declaration (scalar or stack array), optional scalar
+    initializer."""
+
+    name: str = ""
+    var_type: Type = "int"
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = expr`` where target is a scalar or an element."""
+
+    target: Expr = None  # VarRef or Index
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then_body: "Block" = None
+    else_body: Optional["Block"] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: "Block" = None
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body`` — init/step are statements or None."""
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: "Block" = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+# -- declarations -------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl:
+    """Global variable: scalar (optional constant initializer) or array
+    (optional constant element list)."""
+
+    name: str
+    var_type: Type
+    line: int
+    scalar_init: Union[int, float, None] = None
+    array_init: Optional[List[Union[int, float]]] = None
+
+
+@dataclass
+class Param:
+    name: str
+    var_type: str  # scalars only
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    return_type: str
+    params: List[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class ProgramAST:
+    """A whole translation unit."""
+
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

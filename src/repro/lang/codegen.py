@@ -1,0 +1,801 @@
+"""MiniC code generator: annotated AST -> assembly text.
+
+Conventions (simplified MIPS o32):
+
+- arguments: ``a0..a3`` for ints, ``f12..f15`` for floats (max 4 each);
+- results: ``v0`` (int) / ``f0`` (float);
+- scalar locals and parameters are homed in callee-saved registers
+  (``s0..s7`` / ``f20..f27``) while they last, then in frame slots;
+- expression temporaries come from the caller-saved pools in
+  :mod:`repro.lang.regalloc`, spilling to frame slots under pressure;
+- local arrays live in the frame (stack segment); globals in the data
+  segment — this is what gives the paper's *Rename Stack* / *Rename Data*
+  distinction its bite on our workloads.
+
+Frame layout (word offsets from the adjusted ``sp``)::
+
+    0 ..          saved ra (if the function makes calls)
+    next          saved callee-saved int then fp registers
+    next          frame-resident scalars
+    next          local arrays
+    next          spill slots (as many as the body needed)
+
+Every statement is preceded by a ``.stmt N`` directive carrying a globally
+unique statement id (consumed by the Kumar-style statement-granularity
+baseline).
+
+Two frame disciplines are supported:
+
+- **dynamic** (default, C-style): the prologue moves ``sp`` down and the
+  epilogue moves it back. Faithful to MIPS C output; note the ``sp``
+  updates form a true-dependency chain threading every call.
+- **static** (``static_frames=True``, FORTRAN-77-style): every function
+  gets a *fixed* frame carved out of the bottom of the stack segment, and
+  ``sp`` is never touched. This is how MIPS Fortran laid out locals —
+  including local arrays — and it is precisely why the paper found that
+  renaming the *stack* unlocks matrix300/tomcatv: the fixed per-call
+  storage is reused by every invocation, creating storage (WAR)
+  dependencies that renaming removes. Recursion is not supported in this
+  mode (as in FORTRAN 77).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.regalloc import (
+    FP_ARG_REGS,
+    FP_SAVED_REGS,
+    INT_ARG_REGS,
+    INT_SAVED_REGS,
+    Temp,
+    TempAllocator,
+)
+from repro.isa.layout import STACK_SEGMENT_FLOOR, STACK_TOP_WORDS
+from repro.lang.typesys import FLOAT, INT, VOID, is_array
+
+_INT_BINOPS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "rem",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "sll",
+    ">>": "sra",
+    "==": "seq",
+    "!=": "sne",
+    "<": "slt",
+    "<=": "sle",
+    ">": "sgt",
+    ">=": "sge",
+}
+
+_FP_ARITH = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+#: float comparison -> (opcode, swap operands, negate result)
+_FP_COMPARE = {
+    "<": ("flt", False, False),
+    "<=": ("fle", False, False),
+    ">": ("flt", True, False),
+    ">=": ("fle", True, False),
+    "==": ("feq", False, False),
+    "!=": ("feq", False, True),
+}
+
+
+class _VarStorage:
+    """Where a variable lives at run time."""
+
+    __slots__ = ("kind", "place", "reg", "offset", "label", "array_type")
+
+    def __init__(self, kind, place, reg=None, offset=None, label=None, array_type=None):
+        self.kind = kind  # element/scalar type: "int" | "float"
+        self.place = place  # "sreg" | "frame" | "global" | "frame_array" | "global_array"
+        self.reg = reg
+        self.offset = offset
+        self.label = label
+        self.array_type = array_type
+
+
+class CodeGen:
+    """Generates one translation unit.
+
+    Args:
+        program: the analyzed AST.
+        static_frames: FORTRAN-77-style fixed frames (see module docstring).
+    """
+
+    def __init__(self, program: ast.ProgramAST, static_frames: bool = False):
+        self.program = program
+        self.static_frames = static_frames
+        self._static_next = STACK_SEGMENT_FLOOR  # next free static-frame word
+        self._param_blocks: Dict[str, int] = {}  # sp-relative arg-block bases
+        self.lines: List[str] = []
+        self._label_count = 0
+        self._stmt_count = 0
+
+        # per-function state
+        self._body: List[str] = []
+        self._temps: Optional[TempAllocator] = None
+        self._storage: Dict[str, _VarStorage] = {}
+        self._globals: Dict[str, _VarStorage] = {}
+        self._spill_base = 0
+        self._spill_count = 0
+        self._free_slots: List[int] = []
+        self._return_label = ""
+        self._return_type = VOID
+        self._loop_labels: List[Tuple[str, str]] = []  # (continue, break)
+
+    # -- public entry -------------------------------------------------------
+
+    def generate(self) -> str:
+        """Emit the whole program as assembly text."""
+        self._emit_data_segment()
+        if self.static_frames:
+            # FORTRAN argument blocks: every function's parameters live at
+            # fixed stack-segment addresses, written by the caller at each
+            # call site (by-reference-style dummy arguments). Reserve them
+            # up front so forward calls know the addresses.
+            for func in self.program.functions:
+                self._param_blocks[func.name] = self._static_next - STACK_TOP_WORDS
+                self._static_next += max(len(func.params), 1)
+        self.lines.append(".text")
+        self._emit_startup()
+        for func in self.program.functions:
+            self._gen_function(func)
+        return "\n".join(self.lines) + "\n"
+
+    # -- data segment ---------------------------------------------------------
+
+    def _emit_data_segment(self) -> None:
+        self.lines.append(".data")
+        for decl in self.program.globals:
+            label = f"g_{decl.name}"
+            if is_array(decl.var_type):
+                self._globals[decl.name] = _VarStorage(
+                    decl.var_type.element,
+                    "global_array",
+                    label=label,
+                    array_type=decl.var_type,
+                )
+                self._emit_global_array(label, decl)
+            else:
+                self._globals[decl.name] = _VarStorage(decl.var_type, "global", label=label)
+                directive = ".word" if decl.var_type == INT else ".float"
+                init = decl.scalar_init
+                if init is None:
+                    init = 0 if decl.var_type == INT else 0.0
+                if decl.var_type == FLOAT:
+                    init = float(init)
+                self.lines.append(f"{label}: {directive} {init}")
+
+    def _emit_global_array(self, label: str, decl: ast.GlobalDecl) -> None:
+        size = decl.var_type.size_words
+        values = decl.array_init or []
+        directive = ".word" if decl.var_type.element == INT else ".float"
+        if decl.var_type.element == FLOAT:
+            values = [float(v) for v in values]
+        if not values:
+            self.lines.append(f"{label}: .space {size}")
+            return
+        first = True
+        for start in range(0, len(values), 8):
+            chunk = ", ".join(str(v) for v in values[start : start + 8])
+            prefix = f"{label}: " if first else "    "
+            self.lines.append(f"{prefix}{directive} {chunk}")
+            first = False
+        if len(values) < size:
+            self.lines.append(f"    .space {size - len(values)}")
+
+    def _emit_startup(self) -> None:
+        main = next(f for f in self.program.functions if f.name == "main")
+        self.lines.append("main:")
+        self.lines.append("    jal fn_main")
+        if main.return_type == INT:
+            self.lines.append("    move a0, v0")
+        else:
+            self.lines.append("    li a0, 0")
+        self.lines.append("    li v0, 10")
+        self.lines.append("    syscall")
+
+    # -- function emission -------------------------------------------------------
+
+    def _new_label(self, hint: str) -> str:
+        self._label_count += 1
+        return f"L{hint}_{self._label_count}"
+
+    def _emit(self, line: str) -> None:
+        self._body.append(f"    {line}")
+
+    def _emit_label(self, label: str) -> None:
+        self._body.append(f"{label}:")
+
+    def _alloc_slot(self) -> int:
+        if self._free_slots:
+            return self._free_slots.pop()
+        slot = self._spill_base + self._spill_count
+        self._spill_count += 1
+        return slot
+
+    def _free_slot(self, slot: int) -> None:
+        self._free_slots.append(slot)
+
+    #: Registers a static-mode leaf function homes its locals in (its
+    #: expression pools shrink correspondingly). Leaves save nothing.
+    _LEAF_INT_HOMES = ("t6", "t7", "t8", "t9")
+    _LEAF_FP_HOMES = ("f8", "f9", "f10", "f11")
+    _LEAF_INT_POOL = ("t0", "t1", "t2", "t3", "t4", "t5")
+    _LEAF_FP_POOL = ("f4", "f5", "f6", "f7")
+
+    def _gen_function(self, func: ast.FuncDef) -> None:
+        self._body = []
+        self._storage = {}
+        self._free_slots = []
+        self._spill_count = 0
+        self._return_label = self._new_label(f"ret_{func.name}")
+        self._return_type = func.return_type
+        self._loop_labels = []
+
+        # In static-frame mode this function's frame is a fixed region at
+        # the bottom of the stack segment; sp permanently holds the stack
+        # top, so every "offset(sp)" below resolves to an absolute address
+        # inside that region and sp itself is never written (no sp
+        # dependency chain, faithful to MIPS Fortran output). Leaf
+        # functions home their locals in caller-saved registers and save
+        # nothing at all, so the only per-call stack traffic is the
+        # caller-written argument block: fresh values into fixed slots,
+        # i.e. pure storage (WAR) dependencies that stack renaming removes.
+        static = self.static_frames
+        leaf = static and not func.makes_calls
+        base = (self._static_next - STACK_TOP_WORDS) if static else 0
+
+        if leaf:
+            int_homes, fp_homes = list(self._LEAF_INT_HOMES), list(self._LEAF_FP_HOMES)
+            self._temps = TempAllocator(
+                self._emit, self._alloc_slot, self._free_slot,
+                int_pool=self._LEAF_INT_POOL, fp_pool=self._LEAF_FP_POOL,
+            )
+        else:
+            int_homes, fp_homes = list(INT_SAVED_REGS), list(FP_SAVED_REGS)
+            self._temps = TempAllocator(self._emit, self._alloc_slot, self._free_slot)
+
+        save_ra = func.makes_calls
+        offset = base + (1 if save_ra else 0)  # first slot = ra
+
+        # Home assignment. Static-mode parameters stay in their argument
+        # block (memory-resident dummy arguments); other scalars go to
+        # register homes while they last, then to frame slots; arrays go
+        # after scalars.
+        param_names = {param.name for param in func.params}
+        frame_scalars = []
+        reg_homed: List[Tuple[str, str]] = []  # (reg, "sw"/"sf") needing saves
+        for symbol in func.symbols:
+            if is_array(symbol.type):
+                continue
+            if static and symbol.name in param_names:
+                slot = self._param_blocks[func.name] + func.params.index(
+                    next(p for p in func.params if p.name == symbol.name)
+                )
+                self._storage[symbol.name] = _VarStorage(symbol.type, "frame", offset=slot)
+                continue
+            homes = int_homes if symbol.type == INT else fp_homes
+            if homes:
+                reg = homes.pop(0)
+                self._storage[symbol.name] = _VarStorage(symbol.type, "sreg", reg=reg)
+                if not leaf:
+                    reg_homed.append((reg, "sw" if symbol.type == INT else "sf"))
+            else:
+                frame_scalars.append(symbol)
+
+        save_offsets: List[Tuple[str, int, str]] = []  # (reg, offset, sw/sf)
+        for reg, store in reg_homed:
+            save_offsets.append((reg, offset, store))
+            offset += 1
+        for symbol in frame_scalars:
+            self._storage[symbol.name] = _VarStorage(symbol.type, "frame", offset=offset)
+            offset += 1
+        for symbol in func.symbols:
+            if is_array(symbol.type):
+                self._storage[symbol.name] = _VarStorage(
+                    symbol.type.element,
+                    "frame_array",
+                    offset=offset,
+                    array_type=symbol.type,
+                )
+                offset += symbol.type.size_words
+        self._spill_base = offset
+
+        # Parameter move-in (dynamic mode: from argument registers).
+        param_moves: List[str] = []
+        if not static:
+            int_arg = 0
+            fp_arg = 0
+            for param in func.params:
+                storage = self._storage[param.name]
+                if param.var_type == INT:
+                    if int_arg >= len(INT_ARG_REGS):
+                        raise CompileError("too many int parameters (max 4)", param.line)
+                    source = INT_ARG_REGS[int_arg]
+                    int_arg += 1
+                    if storage.place == "sreg":
+                        param_moves.append(f"    move {storage.reg}, {source}")
+                    else:
+                        param_moves.append(f"    sw {source}, {storage.offset}(sp)")
+                else:
+                    if fp_arg >= len(FP_ARG_REGS):
+                        raise CompileError("too many float parameters (max 4)", param.line)
+                    source = FP_ARG_REGS[fp_arg]
+                    fp_arg += 1
+                    if storage.place == "sreg":
+                        param_moves.append(f"    fmov {storage.reg}, {source}")
+                    else:
+                        param_moves.append(f"    sf {source}, {storage.offset}(sp)")
+
+        self._gen_block(func.body)
+
+        frame = self._spill_base + self._spill_count - base
+        if static:
+            self._static_next += frame
+            if self._static_next > STACK_TOP_WORDS - 4096:
+                raise CompileError(
+                    f"static frames exhaust the stack segment in {func.name}"
+                )
+        out = self.lines
+        out.append(f"fn_{func.name}:")
+        if frame and not static:
+            out.append(f"    addi sp, sp, -{frame}")
+        if save_ra:
+            out.append(f"    sw ra, {base}(sp)")
+        for reg, off, store in save_offsets:
+            out.append(f"    {store} {reg}, {off}(sp)")
+        out.extend(param_moves)
+        out.extend(self._body)
+        out.append(f"{self._return_label}:")
+        if save_ra:
+            out.append(f"    lw ra, {base}(sp)")
+        for reg, off, store in save_offsets:
+            load = "lw" if store == "sw" else "lf"
+            out.append(f"    {load} {reg}, {off}(sp)")
+        if frame and not static:
+            out.append(f"    addi sp, sp, {frame}")
+        out.append("    jr ra")
+
+    # -- statements --------------------------------------------------------------
+
+    def _stmt_marker(self) -> None:
+        self._emit(f".stmt {self._stmt_count}")
+        self._stmt_count += 1
+
+    def _gen_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self._gen_statement(statement)
+
+    def _gen_statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self._gen_block(statement)
+            return
+        if isinstance(statement, ast.If):
+            self._gen_if(statement)
+            return
+        if isinstance(statement, ast.While):
+            self._gen_while(statement)
+            return
+        if isinstance(statement, ast.For):
+            self._gen_for(statement)
+            return
+        self._stmt_marker()
+        if isinstance(statement, ast.LocalDecl):
+            if statement.init is not None:
+                value = self._gen_expr(statement.init)
+                self._store_scalar(self._storage[statement.name], value)
+                self._temps.release(value)
+        elif isinstance(statement, ast.Assign):
+            self._gen_assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            result = self._gen_expr(statement.expr, allow_void=True)
+            if result is not None:
+                self._temps.release(result)
+        elif isinstance(statement, ast.Return):
+            self._gen_return(statement)
+        elif isinstance(statement, ast.Break):
+            self._emit(f"j {self._loop_labels[-1][1]}")
+        elif isinstance(statement, ast.Continue):
+            self._emit(f"j {self._loop_labels[-1][0]}")
+        else:  # pragma: no cover
+            raise CompileError(f"cannot generate {type(statement).__name__}", statement.line)
+        self._temps.assert_drained(f"statement at line {statement.line}")
+
+    def _gen_if(self, statement: ast.If) -> None:
+        self._stmt_marker()
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        cond = self._gen_expr(statement.cond)
+        reg = self._temps.ensure(cond)
+        self._emit(f"beqz {reg}, {else_label if statement.else_body else end_label}")
+        self._temps.release(cond)
+        self._temps.assert_drained("if condition")
+        self._gen_block(statement.then_body)
+        if statement.else_body is not None:
+            self._emit(f"j {end_label}")
+            self._emit_label(else_label)
+            self._gen_block(statement.else_body)
+        self._emit_label(end_label)
+
+    def _gen_while(self, statement: ast.While) -> None:
+        self._stmt_marker()
+        cond_label = self._new_label("while")
+        end_label = self._new_label("endwhile")
+        self._emit_label(cond_label)
+        cond = self._gen_expr(statement.cond)
+        reg = self._temps.ensure(cond)
+        self._emit(f"beqz {reg}, {end_label}")
+        self._temps.release(cond)
+        self._temps.assert_drained("while condition")
+        self._loop_labels.append((cond_label, end_label))
+        self._gen_block(statement.body)
+        self._loop_labels.pop()
+        self._emit(f"j {cond_label}")
+        self._emit_label(end_label)
+
+    def _gen_for(self, statement: ast.For) -> None:
+        self._stmt_marker()
+        cond_label = self._new_label("for")
+        step_label = self._new_label("forstep")
+        end_label = self._new_label("endfor")
+        if statement.init is not None:
+            self._gen_statement(statement.init)
+        self._emit_label(cond_label)
+        if statement.cond is not None:
+            cond = self._gen_expr(statement.cond)
+            reg = self._temps.ensure(cond)
+            self._emit(f"beqz {reg}, {end_label}")
+            self._temps.release(cond)
+            self._temps.assert_drained("for condition")
+        self._loop_labels.append((step_label, end_label))
+        self._gen_block(statement.body)
+        self._loop_labels.pop()
+        self._emit_label(step_label)
+        if statement.step is not None:
+            self._gen_statement(statement.step)
+        self._emit(f"j {cond_label}")
+        self._emit_label(end_label)
+
+    def _gen_assign(self, statement: ast.Assign) -> None:
+        target = statement.target
+        if isinstance(target, ast.VarRef):
+            value = self._gen_expr(statement.value)
+            self._store_scalar(self._lookup(target.name), value)
+            self._temps.release(value)
+            return
+        # Element store: value first, then address.
+        value = self._gen_expr(statement.value)
+        offset_text, base_temp = self._element_address(target)
+        store = "sw" if statement.value.type == INT else "sf"
+        if isinstance(base_temp, Temp):
+            base_reg = self._temps.ensure(base_temp)
+            value_reg = self._temps.ensure(value, keep=(base_temp,))
+        else:
+            base_reg = base_temp
+            value_reg = self._temps.ensure(value)
+        self._emit(f"{store} {value_reg}, {offset_text}({base_reg})")
+        if isinstance(base_temp, Temp):
+            self._temps.release(base_temp)
+        self._temps.release(value)
+
+    def _gen_return(self, statement: ast.Return) -> None:
+        if statement.value is not None:
+            value = self._gen_expr(statement.value)
+            reg = self._temps.ensure(value)
+            if self._return_type == INT:
+                self._emit(f"move v0, {reg}")
+            else:
+                self._emit(f"fmov f0, {reg}")
+            self._temps.release(value)
+        self._emit(f"j {self._return_label}")
+
+    # -- variable access ------------------------------------------------------------
+
+    def _lookup(self, name: str) -> _VarStorage:
+        storage = self._storage.get(name)
+        if storage is None:
+            storage = self._globals[name]
+        return storage
+
+    def _store_scalar(self, storage: _VarStorage, value: Temp) -> None:
+        reg = self._temps.ensure(value)
+        if storage.place == "sreg":
+            move = "move" if storage.kind == INT else "fmov"
+            self._emit(f"{move} {storage.reg}, {reg}")
+        elif storage.place == "frame":
+            store = "sw" if storage.kind == INT else "sf"
+            self._emit(f"{store} {reg}, {storage.offset}(sp)")
+        elif storage.place == "global":
+            store = "sw" if storage.kind == INT else "sf"
+            self._emit(f"{store} {reg}, {storage.label}")
+        else:  # pragma: no cover - sema rejects whole-array assignment
+            raise CompileError(f"cannot store to array {storage.label}")
+
+    def _load_scalar(self, storage: _VarStorage) -> Temp:
+        if storage.place == "sreg":
+            return self._temps.borrow(storage.kind, storage.reg)
+        temp = self._temps.acquire(storage.kind)
+        load = "lw" if storage.kind == INT else "lf"
+        if storage.place == "frame":
+            self._emit(f"{load} {temp.reg}, {storage.offset}(sp)")
+        else:
+            self._emit(f"{load} {temp.reg}, {storage.label}")
+        return temp
+
+    def _element_address(self, expr: ast.Index):
+        """Compute an element's address.
+
+        Returns ``(offset_text, base)`` where base is a register name or a
+        Temp holding the base register; the caller emits
+        ``op value, offset_text(base)`` and releases the Temp.
+        """
+        storage = self._lookup(expr.name)
+        dims = storage.array_type.dims
+        index = self._linear_index(expr, dims)
+        index_reg = self._temps.ensure(index)
+        if storage.place == "global_array":
+            return storage.label, index
+        # frame array: base = sp + index, element at offset storage.offset
+        base = self._temps.acquire(INT)
+        self._emit(f"add {base.reg}, sp, {index_reg}")
+        self._temps.release(index)
+        return str(storage.offset), base
+
+    def _linear_index(self, expr: ast.Index, dims) -> Temp:
+        if len(dims) == 1:
+            index = self._gen_expr(expr.indices[0])
+            return index
+        row = self._gen_expr(expr.indices[0])
+        row_reg = self._temps.ensure(row)
+        linear = self._temps.acquire(INT, keep=(row,))
+        ncols = dims[1]
+        if ncols & (ncols - 1) == 0:
+            shift = ncols.bit_length() - 1
+            self._emit(f"slli {linear.reg}, {row_reg}, {shift}")
+        else:
+            self._emit(f"muli {linear.reg}, {row_reg}, {ncols}")
+        self._temps.release(row)
+        col = self._gen_expr(expr.indices[1])
+        col_reg = self._temps.ensure(col)
+        linear_reg = self._temps.ensure(linear, keep=(col,))
+        self._emit(f"add {linear_reg}, {linear_reg}, {col_reg}")
+        self._temps.release(col)
+        return linear
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _gen_expr(self, expr: ast.Expr, allow_void: bool = False) -> Optional[Temp]:
+        if isinstance(expr, ast.IntLiteral):
+            temp = self._temps.acquire(INT)
+            self._emit(f"li {temp.reg}, {expr.value}")
+            return temp
+        if isinstance(expr, ast.FloatLiteral):
+            temp = self._temps.acquire(FLOAT)
+            self._emit(f"lfi {temp.reg}, {expr.value!r}")
+            return temp
+        if isinstance(expr, ast.VarRef):
+            return self._load_scalar(self._lookup(expr.name))
+        if isinstance(expr, ast.Index):
+            offset_text, base = self._element_address(expr)
+            if isinstance(base, Temp):
+                base_reg = self._temps.ensure(base)
+                temp = self._temps.acquire(expr.type, keep=(base,))
+            else:
+                base_reg = base
+                temp = self._temps.acquire(expr.type)
+            load = "lw" if expr.type == INT else "lf"
+            self._emit(f"{load} {temp.reg}, {offset_text}({base_reg})")
+            if isinstance(base, Temp):
+                self._temps.release(base)
+            return temp
+        if isinstance(expr, ast.BinOp):
+            return self._gen_binop(expr)
+        if isinstance(expr, ast.LogicalOp):
+            return self._gen_logical(expr)
+        if isinstance(expr, ast.UnOp):
+            return self._gen_unop(expr)
+        if isinstance(expr, ast.Cast):
+            return self._gen_cast(expr)
+        if isinstance(expr, ast.Call):
+            result = self._gen_call(expr)
+            if result is None and not allow_void:
+                raise CompileError(f"void call {expr.name} used as a value", expr.line)
+            return result
+        raise CompileError(f"cannot generate {type(expr).__name__}", expr.line)  # pragma: no cover
+
+    def _result_temp(self, kind: str, *operands: Temp) -> Temp:
+        """Reuse an owned operand's register for the result when possible;
+        otherwise acquire a fresh one with the operands protected."""
+        for operand in operands:
+            if not operand.borrowed and operand.kind == kind and operand.reg is not None:
+                return operand
+        return self._temps.acquire(kind, keep=operands)
+
+    def _gen_binop(self, expr: ast.BinOp) -> Temp:
+        left = self._gen_expr(expr.left)
+        right = self._gen_expr(expr.right)
+        left_reg = self._temps.ensure(left)
+        right_reg = self._temps.ensure(right, keep=(left,))
+        operand_kind = expr.left.type
+        if operand_kind == INT:
+            opcode = _INT_BINOPS[expr.op]
+            dest = self._result_temp(INT, left, right)
+            self._emit(f"{opcode} {dest.reg}, {left_reg}, {right_reg}")
+            for operand in (left, right):
+                if operand is not dest:
+                    self._temps.release(operand)
+            return dest
+        if expr.op in _FP_ARITH:
+            opcode = _FP_ARITH[expr.op]
+            dest = self._result_temp(FLOAT, left, right)
+            self._emit(f"{opcode} {dest.reg}, {left_reg}, {right_reg}")
+            for operand in (left, right):
+                if operand is not dest:
+                    self._temps.release(operand)
+            return dest
+        # float comparison -> int result
+        opcode, swap, negate = _FP_COMPARE[expr.op]
+        first, second = (right_reg, left_reg) if swap else (left_reg, right_reg)
+        dest = self._temps.acquire(INT)
+        self._emit(f"{opcode} {dest.reg}, {first}, {second}")
+        if negate:
+            self._emit(f"xori {dest.reg}, {dest.reg}, 1")
+        self._temps.release(left)
+        self._temps.release(right)
+        return dest
+
+    def _gen_logical(self, expr: ast.LogicalOp) -> Temp:
+        end_label = self._new_label("lgc")
+        result_slot = self._alloc_slot()
+        left = self._gen_expr(expr.left)
+        left_reg = self._temps.ensure(left)
+        normal = self._temps.acquire(INT, keep=(left,))
+        self._emit(f"sne {normal.reg}, {left_reg}, zero")
+        self._emit(f"sw {normal.reg}, {result_slot}(sp)")
+        branch = "beqz" if expr.op == "&&" else "bnez"
+        # Spill everything live before the branch so both paths agree on
+        # where each temporary resides at the merge point.
+        self._temps.release(left)
+        self._temps.spill_live(exclude=(normal,))
+        self._emit(f"{branch} {normal.reg}, {end_label}")
+        self._temps.release(normal)
+        right = self._gen_expr(expr.right)
+        right_reg = self._temps.ensure(right)
+        flag = self._temps.acquire(INT, keep=(right,))
+        self._emit(f"sne {flag.reg}, {right_reg}, zero")
+        self._emit(f"sw {flag.reg}, {result_slot}(sp)")
+        self._temps.release(right)
+        self._temps.release(flag)
+        self._emit_label(end_label)
+        result = self._temps.acquire(INT)
+        self._emit(f"lw {result.reg}, {result_slot}(sp)")
+        self._free_slot(result_slot)
+        return result
+
+    def _gen_unop(self, expr: ast.UnOp) -> Temp:
+        operand = self._gen_expr(expr.operand)
+        reg = self._temps.ensure(operand)
+        if expr.op == "-":
+            if expr.type == FLOAT:
+                dest = self._result_temp(FLOAT, operand)
+                self._emit(f"fneg {dest.reg}, {reg}")
+            else:
+                dest = self._result_temp(INT, operand)
+                self._emit(f"sub {dest.reg}, zero, {reg}")
+        elif expr.op == "!":
+            dest = self._result_temp(INT, operand)
+            self._emit(f"seq {dest.reg}, {reg}, zero")
+        else:  # "~"
+            dest = self._result_temp(INT, operand)
+            self._emit(f"nor {dest.reg}, {reg}, zero")
+        if dest is not operand:
+            self._temps.release(operand)
+        return dest
+
+    def _gen_cast(self, expr: ast.Cast) -> Temp:
+        operand = self._gen_expr(expr.operand)
+        if expr.operand.type == expr.type:
+            return operand
+        reg = self._temps.ensure(operand)
+        dest = self._temps.acquire(expr.type, keep=(operand,))
+        opcode = "cvtif" if expr.type == FLOAT else "cvtfi"
+        self._emit(f"{opcode} {dest.reg}, {reg}")
+        self._temps.release(operand)
+        return dest
+
+    # -- calls -----------------------------------------------------------------------
+
+    _BUILTIN_SYSCALLS = {
+        "print_int": 1,
+        "print_float": 2,
+        "read_int": 5,
+        "read_float": 6,
+        "print_char": 11,
+    }
+
+    def _gen_call(self, expr: ast.Call) -> Optional[Temp]:
+        if getattr(expr, "builtin", False):
+            return self._gen_builtin(expr)
+        arg_temps = [self._gen_expr(arg) for arg in expr.args]
+        self._temps.spill_live(exclude=arg_temps)
+        if self.static_frames:
+            # FORTRAN-style: write argument values into the callee's fixed
+            # argument block.
+            block = self._param_blocks[expr.name]
+            for position, (arg, temp) in enumerate(zip(expr.args, arg_temps)):
+                reg = self._temps.ensure(temp)
+                store = "sw" if arg.type == INT else "sf"
+                self._emit(f"{store} {reg}, {block + position}(sp)")
+                self._temps.release(temp)
+        else:
+            int_arg = 0
+            fp_arg = 0
+            for arg, temp in zip(expr.args, arg_temps):
+                reg = self._temps.ensure(temp)
+                if arg.type == INT:
+                    if int_arg >= len(INT_ARG_REGS):
+                        raise CompileError("too many int arguments (max 4)", expr.line)
+                    self._emit(f"move {INT_ARG_REGS[int_arg]}, {reg}")
+                    int_arg += 1
+                else:
+                    if fp_arg >= len(FP_ARG_REGS):
+                        raise CompileError("too many float arguments (max 4)", expr.line)
+                    self._emit(f"fmov {FP_ARG_REGS[fp_arg]}, {reg}")
+                    fp_arg += 1
+                self._temps.release(temp)
+        self._emit(f"jal fn_{expr.name}")
+        if expr.type == VOID:
+            return None
+        result = self._temps.acquire(expr.type)
+        if expr.type == INT:
+            self._emit(f"move {result.reg}, v0")
+        else:
+            self._emit(f"fmov {result.reg}, f0")
+        return result
+
+    def _gen_builtin(self, expr: ast.Call) -> Optional[Temp]:
+        name = expr.name
+        if name == "sqrt":
+            operand = self._gen_expr(expr.args[0])
+            reg = self._temps.ensure(operand)
+            dest = self._result_temp(FLOAT, operand)
+            self._emit(f"fsqrt {dest.reg}, {reg}")
+            if dest is not operand:
+                self._temps.release(operand)
+            return dest
+        number = self._BUILTIN_SYSCALLS[name]
+        if name in ("print_int", "print_char"):
+            operand = self._gen_expr(expr.args[0])
+            reg = self._temps.ensure(operand)
+            self._emit(f"move a0, {reg}")
+            self._temps.release(operand)
+        elif name == "print_float":
+            operand = self._gen_expr(expr.args[0])
+            reg = self._temps.ensure(operand)
+            self._emit(f"fmov f12, {reg}")
+            self._temps.release(operand)
+        self._emit(f"li v0, {number}")
+        self._emit("syscall")
+        if name == "read_int":
+            result = self._temps.acquire(INT)
+            self._emit(f"move {result.reg}, v0")
+            return result
+        if name == "read_float":
+            result = self._temps.acquire(FLOAT)
+            self._emit(f"fmov {result.reg}, f0")
+            return result
+        return None
+
+
+def generate_assembly(program: ast.ProgramAST, static_frames: bool = False) -> str:
+    """Generate assembly text from an analyzed AST."""
+    return CodeGen(program, static_frames=static_frames).generate()

@@ -1,0 +1,45 @@
+"""Compiler driver: MiniC source -> assembly -> assembled Program."""
+
+from __future__ import annotations
+
+from repro.asm.assembler import assemble
+from repro.asm.program import Program
+from repro.lang.codegen import generate_assembly
+from repro.lang.optimizer import optimize_typed, optimize_untyped
+from repro.lang.parser import parse
+from repro.lang.sema import analyze_ast
+
+
+def compile_to_assembly(
+    source: str, static_frames: bool = False, optimize: bool = False
+) -> str:
+    """Compile MiniC source text to assembly text.
+
+    Args:
+        source: MiniC program text.
+        static_frames: FORTRAN-77-style fixed frames (see
+            :mod:`repro.lang.codegen`); the default is C-style dynamic
+            frames.
+        optimize: run the optimizer passes (constant folding, algebraic
+            simplification, dead-control elimination, strength reduction).
+            Off by default so measured dependency structure is the
+            straightforward translation; the ``abl-compiler`` ablation
+            measures the difference (the paper's section 3.2 second-order
+            compiler effect).
+    """
+    program_ast = parse(source)
+    if optimize:
+        program_ast = optimize_untyped(program_ast)
+    program_ast = analyze_ast(program_ast)
+    if optimize:
+        program_ast = optimize_typed(program_ast)
+    return generate_assembly(program_ast, static_frames=static_frames)
+
+
+def compile_source(
+    source: str, static_frames: bool = False, optimize: bool = False
+) -> Program:
+    """Compile MiniC source text to an assembled :class:`Program`."""
+    return assemble(
+        compile_to_assembly(source, static_frames=static_frames, optimize=optimize)
+    )

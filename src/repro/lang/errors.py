@@ -1,0 +1,13 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A lexical, syntactic, or semantic error in MiniC source."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)

@@ -1,0 +1,162 @@
+"""MiniC lexer.
+
+Tokens carry ``(kind, text, value, line)``. Kinds are ``"int"``/``"float"``
+literals, ``"ident"``, ``"kw"`` (keywords), ``"op"`` (operators and
+punctuation), and the terminal ``"eof"``. Comments are ``//`` to end of
+line and ``/* ... */`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.lang.errors import CompileError
+
+KEYWORDS = {
+    "int",
+    "float",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "int" | "float" | "ident" | "kw" | "op" | "eof"
+    text: str
+    value: Union[int, float, None]
+    line: int
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_kw(self, text: str) -> bool:
+        return self.kind == "kw" and self.text == text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    size = len(source)
+    while pos < size:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = size if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < size and source[pos + 1].isdigit()):
+            token, pos = _lex_number(source, pos, line)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < size and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line))
+            continue
+        operator = _match_operator(source, pos)
+        if operator is not None:
+            tokens.append(Token("op", operator, None, line))
+            pos += len(operator)
+            continue
+        raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", None, line))
+    return tokens
+
+
+def _match_operator(source: str, pos: int) -> Optional[str]:
+    for operator in _OPERATORS:
+        if source.startswith(operator, pos):
+            return operator
+    return None
+
+
+def _lex_number(source: str, pos: int, line: int):
+    size = len(source)
+    start = pos
+    if source.startswith("0x", pos) or source.startswith("0X", pos):
+        pos += 2
+        while pos < size and source[pos] in "0123456789abcdefABCDEF":
+            pos += 1
+        return Token("int", source[start:pos], int(source[start:pos], 16), line), pos
+    is_float = False
+    while pos < size and source[pos].isdigit():
+        pos += 1
+    if pos < size and source[pos] == ".":
+        is_float = True
+        pos += 1
+        while pos < size and source[pos].isdigit():
+            pos += 1
+    if pos < size and source[pos] in "eE":
+        probe = pos + 1
+        if probe < size and source[probe] in "+-":
+            probe += 1
+        if probe < size and source[probe].isdigit():
+            is_float = True
+            pos = probe
+            while pos < size and source[pos].isdigit():
+                pos += 1
+    text = source[start:pos]
+    if is_float:
+        return Token("float", text, float(text), line), pos
+    return Token("int", text, int(text), line), pos

@@ -1,0 +1,576 @@
+"""MiniC optimizer.
+
+The paper's section 3.2 notes that the compiler exerts a second-order
+effect on measured parallelism (its example: the MIPS compiler's loop
+unrolling weakening loop-counter recurrences). This module provides the
+optimization passes that let the harness measure that effect on our own
+stack (the ``abl-compiler`` ablation):
+
+Pre-typing pass (syntax-level, runs before semantic analysis):
+
+- constant folding over int/float literals with C semantics (truncating
+  integer division), including comparisons, logical and unary operators
+  and literal casts;
+- algebraic identities on *pure* operands (``x+0``, ``x*1``, ``x*0``,
+  ``x-0``, ``0-x`` kept as negation, ``x/1``); purity means no calls, so
+  side effects are never dropped;
+- dead control elimination: ``if (k)`` with a constant condition keeps
+  only the live branch, ``while (0)`` disappears.
+
+- loop unrolling — the paper's own example of the compiler's second-order
+  effect ("the MIPS compiler commonly performs loop unrolling which tends
+  to decrease the recurrences created by loop counters, thus increasing
+  the parallelism"): counted ``for`` loops with literal bounds whose trip
+  count divides evenly are unrolled 2-4x, advancing the induction variable
+  between body copies.
+
+Post-typing pass (needs types, runs after semantic analysis):
+
+- strength reduction: integer multiply/divide by a power of two becomes a
+  shift (divide only when the dividend is provably non-negative is *not*
+  attempted — C's truncating semantics differ from an arithmetic shift on
+  negatives, so division is left alone).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.lang import ast
+from repro.lang.typesys import FLOAT, INT
+
+_INT_FOLD = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << (b & 31),
+    ">>": lambda a, b: a >> (b & 31),
+}
+
+_FLOAT_FOLD = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+_COMPARE_FOLD = {
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+}
+
+
+def _c_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+def is_pure(expr: ast.Expr) -> bool:
+    """True if evaluating ``expr`` has no side effects (no calls)."""
+    if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral, ast.VarRef)):
+        return True
+    if isinstance(expr, ast.Index):
+        return all(is_pure(index) for index in expr.indices)
+    if isinstance(expr, (ast.BinOp, ast.LogicalOp)):
+        return is_pure(expr.left) and is_pure(expr.right)
+    if isinstance(expr, ast.UnOp):
+        return is_pure(expr.operand)
+    if isinstance(expr, ast.Cast):
+        return is_pure(expr.operand)
+    return False  # calls (and anything unknown) are impure
+
+
+def _literal_value(expr: ast.Expr):
+    if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral)):
+        return expr.value
+    return None
+
+
+def _make_literal(value, line: int) -> ast.Expr:
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return ast.IntLiteral(line=line, value=value)
+    return ast.FloatLiteral(line=line, value=value)
+
+
+def _is_int_literal(expr: ast.Expr, value: Optional[int] = None) -> bool:
+    if not isinstance(expr, ast.IntLiteral):
+        return False
+    return value is None or expr.value == value
+
+
+def _is_literal(expr: ast.Expr, value) -> bool:
+    folded = _literal_value(expr)
+    if folded is None:
+        return False
+    return folded == value
+
+
+class FoldingPass:
+    """Syntax-level constant folding and dead-control elimination."""
+
+    def run(self, program: ast.ProgramAST) -> ast.ProgramAST:
+        for func in program.functions:
+            func.body = self._block(func.body)
+        return program
+
+    # -- statements ------------------------------------------------------
+
+    def _block(self, block: ast.Block) -> ast.Block:
+        out = []
+        for statement in block.statements:
+            folded = self._statement(statement)
+            if folded is not None:
+                out.append(folded)
+        block.statements = out
+        return block
+
+    def _statement(self, statement: ast.Stmt) -> Optional[ast.Stmt]:
+        if isinstance(statement, ast.Block):
+            return self._block(statement)
+        if isinstance(statement, ast.LocalDecl):
+            if statement.init is not None:
+                statement.init = self._expr(statement.init)
+            return statement
+        if isinstance(statement, ast.Assign):
+            statement.target = self._expr(statement.target)
+            statement.value = self._expr(statement.value)
+            return statement
+        if isinstance(statement, ast.ExprStmt):
+            statement.expr = self._expr(statement.expr)
+            if is_pure(statement.expr):
+                return None  # a pure expression statement is dead code
+            return statement
+        if isinstance(statement, ast.If):
+            statement.cond = self._expr(statement.cond)
+            condition = _literal_value(statement.cond)
+            statement.then_body = self._block(statement.then_body)
+            if statement.else_body is not None:
+                statement.else_body = self._block(statement.else_body)
+            if isinstance(condition, int):
+                if condition:
+                    return statement.then_body
+                return statement.else_body  # may be None: statement vanishes
+            return statement
+        if isinstance(statement, ast.While):
+            statement.cond = self._expr(statement.cond)
+            if _is_int_literal(statement.cond, 0):
+                return None
+            statement.body = self._block(statement.body)
+            return statement
+        if isinstance(statement, ast.For):
+            if statement.init is not None:
+                statement.init = self._statement(statement.init)
+            if statement.cond is not None:
+                statement.cond = self._expr(statement.cond)
+            if statement.step is not None:
+                statement.step = self._statement(statement.step)
+            statement.body = self._block(statement.body)
+            if statement.cond is not None and _is_int_literal(statement.cond, 0):
+                return statement.init  # only the init ever runs
+            return statement
+        if isinstance(statement, ast.Return):
+            if statement.value is not None:
+                statement.value = self._expr(statement.value)
+            return statement
+        return statement
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.BinOp):
+            expr.left = self._expr(expr.left)
+            expr.right = self._expr(expr.right)
+            return self._fold_binop(expr)
+        if isinstance(expr, ast.LogicalOp):
+            expr.left = self._expr(expr.left)
+            expr.right = self._expr(expr.right)
+            return self._fold_logical(expr)
+        if isinstance(expr, ast.UnOp):
+            expr.operand = self._expr(expr.operand)
+            return self._fold_unop(expr)
+        if isinstance(expr, ast.Cast):
+            expr.operand = self._expr(expr.operand)
+            value = _literal_value(expr.operand)
+            if value is not None and expr.type in (INT, FLOAT):
+                if expr.type == INT:
+                    return _make_literal(int(value), expr.line)
+                return _make_literal(float(value), expr.line)
+            return expr
+        if isinstance(expr, ast.Call):
+            expr.args = [self._expr(arg) for arg in expr.args]
+            return expr
+        if isinstance(expr, ast.Index):
+            expr.indices = [self._expr(index) for index in expr.indices]
+            return expr
+        return expr
+
+    def _fold_binop(self, expr: ast.BinOp) -> ast.Expr:
+        left = _literal_value(expr.left)
+        right = _literal_value(expr.right)
+        op = expr.op
+        if left is not None and right is not None:
+            folded = self._fold_constants(op, left, right, expr.line)
+            if folded is not None:
+                return folded
+        # algebraic identities (pure operands only; never drop a call)
+        if op == "+" and _is_literal(expr.right, 0) and is_pure(expr.right):
+            return expr.left
+        if op == "+" and _is_literal(expr.left, 0) and is_pure(expr.left):
+            return expr.right
+        if op == "-" and _is_literal(expr.right, 0):
+            return expr.left
+        if op == "*" and _is_literal(expr.right, 1):
+            return expr.left
+        if op == "*" and _is_literal(expr.left, 1):
+            return expr.right
+        if op == "*" and (
+            (_is_int_literal(expr.right, 0) and is_pure(expr.left))
+            or (_is_int_literal(expr.left, 0) and is_pure(expr.right))
+        ):
+            return ast.IntLiteral(line=expr.line, value=0)
+        if op == "/" and _is_literal(expr.right, 1):
+            return expr.left
+        return expr
+
+    def _fold_constants(self, op, left, right, line) -> Optional[ast.Expr]:
+        both_int = isinstance(left, int) and isinstance(right, int)
+        if op in _COMPARE_FOLD:
+            return _make_literal(_COMPARE_FOLD[op](left, right), line)
+        if both_int:
+            if op in _INT_FOLD:
+                return _make_literal(_INT_FOLD[op](left, right), line)
+            if op == "/" and right != 0:
+                return _make_literal(_c_div(left, right), line)
+            if op == "%" and right != 0:
+                return _make_literal(left - _c_div(left, right) * right, line)
+            return None
+        # at least one float: promote (int-only operators cannot reach here
+        # with floats, sema would reject the original program anyway)
+        if op in _FLOAT_FOLD:
+            return _make_literal(_FLOAT_FOLD[op](float(left), float(right)), line)
+        if op == "/" and float(right) != 0.0:
+            return _make_literal(float(left) / float(right), line)
+        return None
+
+    def _fold_logical(self, expr: ast.LogicalOp) -> ast.Expr:
+        left = _literal_value(expr.left)
+        if isinstance(left, int):
+            if expr.op == "&&":
+                if not left:
+                    return ast.IntLiteral(line=expr.line, value=0)
+                return self._normalize_bool(expr.right, expr.line)
+            if left:
+                return ast.IntLiteral(line=expr.line, value=1)
+            return self._normalize_bool(expr.right, expr.line)
+        right = _literal_value(expr.right)
+        if isinstance(right, int) and is_pure(expr.right):
+            # x && 0 still evaluates x's side effects; x is pure here only
+            # when we can see it, and normalizing requires the left's value
+            # -> keep the general form unless both sides fold above.
+            pass
+        return expr
+
+    def _normalize_bool(self, expr: ast.Expr, line: int) -> ast.Expr:
+        value = _literal_value(expr)
+        if isinstance(value, int):
+            return ast.IntLiteral(line=line, value=1 if value else 0)
+        result = ast.UnOp(line=line, op="!", operand=ast.UnOp(line=line, op="!", operand=expr))
+        return result
+
+    def _fold_unop(self, expr: ast.UnOp) -> ast.Expr:
+        value = _literal_value(expr.operand)
+        if value is None:
+            return expr
+        if expr.op == "-":
+            return _make_literal(-value, expr.line)
+        if expr.op == "!":
+            return _make_literal(0 if value else 1, expr.line)
+        if expr.op == "~" and isinstance(value, int):
+            return _make_literal(~value, expr.line)
+        return expr
+
+
+class UnrollPass:
+    """Counted-loop unrolling (syntax-level, pre-typing).
+
+    A loop qualifies when it has the canonical counted shape with literal
+    bounds — ``for (i = C; i < N; i = i + S)`` with ``S > 0`` — an exact
+    trip count divisible by the unroll factor, and a body that neither
+    branches out (``break``/``continue``/``return``) nor writes the
+    induction variable. The body is replicated ``factor`` times with the
+    induction step between copies.
+    """
+
+    FACTORS = (4, 2)
+    MAX_BODY_STATEMENTS = 24
+
+    def run(self, program: ast.ProgramAST) -> ast.ProgramAST:
+        for func in program.functions:
+            self._block(func.body)
+        return program
+
+    def _block(self, block: ast.Block) -> None:
+        for position, statement in enumerate(block.statements):
+            block.statements[position] = self._statement(statement)
+
+    def _statement(self, statement: ast.Stmt) -> ast.Stmt:
+        if isinstance(statement, ast.Block):
+            self._block(statement)
+        elif isinstance(statement, ast.If):
+            self._block(statement.then_body)
+            if statement.else_body is not None:
+                self._block(statement.else_body)
+        elif isinstance(statement, ast.While):
+            self._block(statement.body)
+        elif isinstance(statement, ast.For):
+            self._block(statement.body)
+            return self._try_unroll(statement)
+        return statement
+
+    def _try_unroll(self, loop: ast.For) -> ast.Stmt:
+        header = self._counted_header(loop)
+        if header is None:
+            return loop
+        variable, start, bound, step = header
+        span = bound - start
+        if span <= 0 or span % step != 0:
+            return loop
+        trips = span // step
+        if len(loop.body.statements) > self.MAX_BODY_STATEMENTS:
+            return loop
+        if self._escapes_or_writes(loop.body, variable):
+            return loop
+        for factor in self.FACTORS:
+            if trips % factor == 0 and trips >= factor:
+                return self._rewrite(loop, variable, step, factor)
+        return loop
+
+    @staticmethod
+    def _counted_header(loop: ast.For):
+        """Decompose ``for (i = C; i < N; i = i + S)``; None if not it."""
+        init, cond, step_stmt = loop.init, loop.cond, loop.step
+        if isinstance(init, ast.Assign) and isinstance(init.target, ast.VarRef):
+            name = init.target.name
+            start_expr = init.value
+        elif isinstance(init, ast.LocalDecl) and init.init is not None:
+            name = init.name
+            start_expr = init.init
+        else:
+            return None
+        if not isinstance(start_expr, ast.IntLiteral):
+            return None
+        if not (
+            isinstance(cond, ast.BinOp)
+            and cond.op == "<"
+            and isinstance(cond.left, ast.VarRef)
+            and cond.left.name == name
+            and isinstance(cond.right, ast.IntLiteral)
+        ):
+            return None
+        if not (
+            isinstance(step_stmt, ast.Assign)
+            and isinstance(step_stmt.target, ast.VarRef)
+            and step_stmt.target.name == name
+            and isinstance(step_stmt.value, ast.BinOp)
+            and step_stmt.value.op == "+"
+            and isinstance(step_stmt.value.left, ast.VarRef)
+            and step_stmt.value.left.name == name
+            and isinstance(step_stmt.value.right, ast.IntLiteral)
+            and step_stmt.value.right.value > 0
+        ):
+            return None
+        return name, start_expr.value, cond.right.value, step_stmt.value.right.value
+
+    @classmethod
+    def _escapes_or_writes(cls, node, variable: str) -> bool:
+        """True if the body breaks/continues/returns or writes ``variable``."""
+        if isinstance(node, (ast.Break, ast.Continue, ast.Return)):
+            return True
+        if isinstance(node, ast.Assign):
+            target = node.target
+            if isinstance(target, ast.VarRef) and target.name == variable:
+                return True
+            return False
+        if isinstance(node, ast.LocalDecl):
+            return node.name == variable  # shadowing: bail out, keep simple
+        if isinstance(node, ast.Block):
+            return any(cls._escapes_or_writes(s, variable) for s in node.statements)
+        if isinstance(node, ast.If):
+            if cls._escapes_or_writes(node.then_body, variable):
+                return True
+            return node.else_body is not None and cls._escapes_or_writes(
+                node.else_body, variable
+            )
+        if isinstance(node, (ast.While, ast.For)):
+            return True  # nested loops with their own breaks: keep simple
+        return False
+
+    @classmethod
+    def _rewrite(cls, loop: ast.For, variable: str, step: int, factor: int) -> ast.For:
+        """Replicate the body with the induction variable offset per copy
+        (``i``, ``i+S``, ``i+2S``...) and step once by ``factor*S`` — the
+        offset form is what actually weakens the counter recurrence (each
+        copy's index hangs one level off the single per-iteration update
+        instead of chaining through intermediate increments)."""
+        copies = [loop.body]
+        for index in range(1, factor):
+            body = copy.deepcopy(loop.body)
+            cls._offset_variable(body, variable, index * step)
+            copies.append(body)
+        loop.body = ast.Block(line=loop.line, statements=copies)
+        loop.step.value.right = ast.IntLiteral(
+            line=loop.line, value=factor * step
+        )
+        return loop
+
+    @classmethod
+    def _offset_variable(cls, node, variable: str, offset: int) -> None:
+        """Rewrite reads of ``variable`` inside ``node`` to ``variable +
+        offset`` (the body is known not to write it)."""
+
+        def rewrite(expr):
+            if isinstance(expr, ast.VarRef) and expr.name == variable:
+                return ast.BinOp(
+                    line=expr.line,
+                    op="+",
+                    left=expr,
+                    right=ast.IntLiteral(line=expr.line, value=offset),
+                )
+            if isinstance(expr, ast.BinOp) or isinstance(expr, ast.LogicalOp):
+                expr.left = rewrite(expr.left)
+                expr.right = rewrite(expr.right)
+            elif isinstance(expr, ast.UnOp):
+                expr.operand = rewrite(expr.operand)
+            elif isinstance(expr, ast.Cast):
+                expr.operand = rewrite(expr.operand)
+            elif isinstance(expr, ast.Call):
+                expr.args = [rewrite(arg) for arg in expr.args]
+            elif isinstance(expr, ast.Index):
+                expr.indices = [rewrite(index) for index in expr.indices]
+            return expr
+
+        def visit(statement):
+            if isinstance(statement, ast.Block):
+                for child in statement.statements:
+                    visit(child)
+            elif isinstance(statement, ast.LocalDecl):
+                if statement.init is not None:
+                    statement.init = rewrite(statement.init)
+            elif isinstance(statement, ast.Assign):
+                statement.target = rewrite(statement.target)
+                statement.value = rewrite(statement.value)
+            elif isinstance(statement, ast.ExprStmt):
+                statement.expr = rewrite(statement.expr)
+            elif isinstance(statement, ast.If):
+                statement.cond = rewrite(statement.cond)
+                visit(statement.then_body)
+                if statement.else_body is not None:
+                    visit(statement.else_body)
+            elif isinstance(statement, ast.Return) and statement.value is not None:
+                statement.value = rewrite(statement.value)
+
+        visit(node)
+
+
+class StrengthReductionPass:
+    """Post-typing multiply-by-power-of-two -> shift."""
+
+    def run(self, program: ast.ProgramAST) -> ast.ProgramAST:
+        for func in program.functions:
+            self._block(func.body)
+        return program
+
+    def _block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self._statement(statement)
+
+    def _statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self._block(statement)
+        elif isinstance(statement, ast.LocalDecl) and statement.init is not None:
+            statement.init = self._expr(statement.init)
+        elif isinstance(statement, ast.Assign):
+            statement.value = self._expr(statement.value)
+            self._expr(statement.target)
+        elif isinstance(statement, ast.ExprStmt):
+            statement.expr = self._expr(statement.expr)
+        elif isinstance(statement, ast.If):
+            statement.cond = self._expr(statement.cond)
+            self._block(statement.then_body)
+            if statement.else_body is not None:
+                self._block(statement.else_body)
+        elif isinstance(statement, ast.While):
+            statement.cond = self._expr(statement.cond)
+            self._block(statement.body)
+        elif isinstance(statement, ast.For):
+            if statement.init is not None:
+                self._statement(statement.init)
+            if statement.cond is not None:
+                statement.cond = self._expr(statement.cond)
+            if statement.step is not None:
+                self._statement(statement.step)
+            self._block(statement.body)
+        elif isinstance(statement, ast.Return) and statement.value is not None:
+            statement.value = self._expr(statement.value)
+
+    def _expr(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.BinOp):
+            expr.left = self._expr(expr.left)
+            expr.right = self._expr(expr.right)
+            if expr.op == "*" and expr.type == INT:
+                reduced = self._try_shift(expr)
+                if reduced is not None:
+                    return reduced
+            return expr
+        if isinstance(expr, ast.LogicalOp):
+            expr.left = self._expr(expr.left)
+            expr.right = self._expr(expr.right)
+            return expr
+        if isinstance(expr, ast.UnOp):
+            expr.operand = self._expr(expr.operand)
+            return expr
+        if isinstance(expr, ast.Cast):
+            expr.operand = self._expr(expr.operand)
+            return expr
+        if isinstance(expr, ast.Call):
+            expr.args = [self._expr(arg) for arg in expr.args]
+            return expr
+        if isinstance(expr, ast.Index):
+            expr.indices = [self._expr(index) for index in expr.indices]
+            return expr
+        return expr
+
+    def _try_shift(self, expr: ast.BinOp) -> Optional[ast.Expr]:
+        for operand, other in ((expr.right, expr.left), (expr.left, expr.right)):
+            if (
+                isinstance(operand, ast.IntLiteral)
+                and operand.value > 1
+                and operand.value & (operand.value - 1) == 0
+                and other.type == INT
+            ):
+                shift = ast.IntLiteral(line=expr.line, value=operand.value.bit_length() - 1)
+                shift.type = INT
+                reduced = ast.BinOp(line=expr.line, op="<<", left=other, right=shift)
+                reduced.type = INT
+                return reduced
+        return None
+
+
+def optimize_untyped(program: ast.ProgramAST) -> ast.ProgramAST:
+    """Run the pre-typing passes (after parse, before sema)."""
+    program = FoldingPass().run(program)
+    return UnrollPass().run(program)
+
+
+def optimize_typed(program: ast.ProgramAST) -> ast.ProgramAST:
+    """Run the post-typing passes (after sema, before codegen)."""
+    return StrengthReductionPass().run(program)

@@ -1,0 +1,384 @@
+"""MiniC recursive-descent parser.
+
+Grammar sketch (see package docstring for the full language description)::
+
+    program     := (global_decl | func_def)*
+    global_decl := type name array_dims? ('=' const_init)? ';'
+    func_def    := type name '(' params ')' block
+    stmt        := local_decl ';' | assign ';' | expr ';' | if | while
+                 | for | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+                 | block | ';'
+    assign      := (name | name '[' expr ']' ('[' expr ']')?) '=' expr
+
+Expression precedence, low to high:
+``||  &&  |  ^  &  ==/!=  </<=/>/>=  <</>>  +/-  *,/,%  unary``.
+``int(e)`` / ``float(e)`` are explicit casts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.typesys import FLOAT, INT, VOID, ArrayType
+
+_BINARY_LEVELS = [
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    """One-token-lookahead parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect_op(self, text: str) -> Token:
+        token = self.current
+        if not token.is_op(text):
+            raise CompileError(f"expected {text!r}, got {token.text!r}", token.line)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.current
+        if token.kind != "ident":
+            raise CompileError(f"expected identifier, got {token.text!r}", token.line)
+        return self.advance()
+
+    def accept_op(self, text: str) -> bool:
+        if self.current.is_op(text):
+            self.advance()
+            return True
+        return False
+
+    def at_type_keyword(self) -> bool:
+        return self.current.kind == "kw" and self.current.text in (INT, FLOAT, VOID)
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_program(self) -> ast.ProgramAST:
+        program = ast.ProgramAST()
+        while self.current.kind != "eof":
+            if not self.at_type_keyword():
+                raise CompileError(
+                    f"expected declaration, got {self.current.text!r}", self.current.line
+                )
+            base_type = self.advance().text
+            name_token = self.expect_ident()
+            if self.current.is_op("("):
+                program.functions.append(self._func_def(base_type, name_token))
+            else:
+                program.globals.append(self._global_decl(base_type, name_token))
+        return program
+
+    def _array_dims(self) -> List[int]:
+        dims = []
+        while self.accept_op("["):
+            token = self.current
+            if token.kind != "int":
+                raise CompileError("array dimensions must be integer literals", token.line)
+            dims.append(token.value)
+            self.advance()
+            self.expect_op("]")
+        return dims
+
+    def _global_decl(self, base_type: str, name_token: Token) -> ast.GlobalDecl:
+        if base_type == VOID:
+            raise CompileError("variables cannot be void", name_token.line)
+        dims = self._array_dims()
+        var_type: Union[str, ArrayType] = (
+            ArrayType(base_type, tuple(dims)) if dims else base_type
+        )
+        scalar_init = None
+        array_init = None
+        if self.accept_op("="):
+            if dims:
+                array_init = self._const_list(name_token.line)
+            else:
+                scalar_init = self._const_value()
+        self.expect_op(";")
+        return ast.GlobalDecl(
+            name=name_token.text,
+            var_type=var_type,
+            line=name_token.line,
+            scalar_init=scalar_init,
+            array_init=array_init,
+        )
+
+    def _const_value(self) -> Union[int, float]:
+        negate = self.accept_op("-")
+        token = self.current
+        if token.kind not in ("int", "float"):
+            raise CompileError("global initializers must be constants", token.line)
+        self.advance()
+        return -token.value if negate else token.value
+
+    def _const_list(self, line: int) -> List[Union[int, float]]:
+        self.expect_op("{")
+        values = []
+        if not self.current.is_op("}"):
+            values.append(self._const_value())
+            while self.accept_op(","):
+                values.append(self._const_value())
+        self.expect_op("}")
+        if not values:
+            raise CompileError("empty array initializer", line)
+        return values
+
+    def _func_def(self, return_type: str, name_token: Token) -> ast.FuncDef:
+        self.expect_op("(")
+        params: List[ast.Param] = []
+        if not self.current.is_op(")"):
+            while True:
+                if not self.at_type_keyword() or self.current.text == VOID:
+                    raise CompileError(
+                        "parameters must be int or float scalars", self.current.line
+                    )
+                param_type = self.advance().text
+                param_name = self.expect_ident()
+                params.append(ast.Param(param_name.text, param_type, param_name.line))
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        body = self._block()
+        return ast.FuncDef(
+            name=name_token.text,
+            return_type=return_type,
+            params=params,
+            body=body,
+            line=name_token.line,
+        )
+
+    # -- statements --------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        open_token = self.expect_op("{")
+        statements = []
+        while not self.current.is_op("}"):
+            if self.current.kind == "eof":
+                raise CompileError("unterminated block", open_token.line)
+            statements.append(self._statement())
+        self.expect_op("}")
+        return ast.Block(line=open_token.line, statements=statements)
+
+    def _statement(self) -> ast.Stmt:
+        token = self.current
+        if token.is_op("{"):
+            return self._block()
+        if token.is_op(";"):
+            self.advance()
+            return ast.Block(line=token.line)
+        if token.kind == "kw":
+            if token.text in (INT, FLOAT):
+                # A cast expression also starts with a type keyword; peek for
+                # '(' to disambiguate `int(x);` from `int x;`.
+                if self.tokens[self.pos + 1].is_op("("):
+                    return self._expr_or_assign()
+                statement = self._local_decl()
+                self.expect_op(";")
+                return statement
+            if token.text == VOID:
+                raise CompileError("variables cannot be void", token.line)
+            if token.text == "if":
+                return self._if()
+            if token.text == "while":
+                return self._while()
+            if token.text == "for":
+                return self._for()
+            if token.text == "return":
+                self.advance()
+                value = None if self.current.is_op(";") else self._expression()
+                self.expect_op(";")
+                return ast.Return(line=token.line, value=value)
+            if token.text == "break":
+                self.advance()
+                self.expect_op(";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect_op(";")
+                return ast.Continue(line=token.line)
+        statement = self._expr_or_assign()
+        return statement
+
+    def _local_decl(self) -> ast.LocalDecl:
+        base_type = self.advance().text
+        name_token = self.expect_ident()
+        dims = self._array_dims()
+        var_type: Union[str, ArrayType] = (
+            ArrayType(base_type, tuple(dims)) if dims else base_type
+        )
+        init = None
+        if self.accept_op("="):
+            if dims:
+                raise CompileError("local arrays cannot be initialized", name_token.line)
+            init = self._expression()
+        return ast.LocalDecl(
+            line=name_token.line, name=name_token.text, var_type=var_type, init=init
+        )
+
+    def _simple_statement(self) -> ast.Stmt:
+        """A declaration, assignment, or expression without the trailing
+        semicolon (for `for` headers)."""
+        if self.at_type_keyword() and not self.tokens[self.pos + 1].is_op("("):
+            return self._local_decl()
+        expr = self._expression()
+        if self.accept_op("="):
+            if not isinstance(expr, (ast.VarRef, ast.Index)):
+                raise CompileError("assignment target must be a variable or element", expr.line)
+            value = self._expression()
+            return ast.Assign(line=expr.line, target=expr, value=value)
+        return ast.ExprStmt(line=expr.line, expr=expr)
+
+    def _expr_or_assign(self) -> ast.Stmt:
+        statement = self._simple_statement()
+        self.expect_op(";")
+        return statement
+
+    def _if(self) -> ast.If:
+        token = self.advance()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        then_body = self._statement_as_block()
+        else_body = None
+        if self.current.is_kw("else"):
+            self.advance()
+            else_body = self._statement_as_block()
+        return ast.If(line=token.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _while(self) -> ast.While:
+        token = self.advance()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        return ast.While(line=token.line, cond=cond, body=self._statement_as_block())
+
+    def _for(self) -> ast.For:
+        token = self.advance()
+        self.expect_op("(")
+        init = None if self.current.is_op(";") else self._simple_statement()
+        self.expect_op(";")
+        cond = None if self.current.is_op(";") else self._expression()
+        self.expect_op(";")
+        step = None if self.current.is_op(")") else self._simple_statement()
+        self.expect_op(")")
+        return ast.For(
+            line=token.line, init=init, cond=cond, step=step, body=self._statement_as_block()
+        )
+
+    def _statement_as_block(self) -> ast.Block:
+        statement = self._statement()
+        if isinstance(statement, ast.Block):
+            return statement
+        return ast.Block(line=statement.line, statements=[statement])
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._logical_or()
+
+    def _logical_or(self) -> ast.Expr:
+        expr = self._logical_and()
+        while self.current.is_op("||"):
+            line = self.advance().line
+            right = self._logical_and()
+            expr = ast.LogicalOp(line=line, op="||", left=expr, right=right)
+        return expr
+
+    def _logical_and(self) -> ast.Expr:
+        expr = self._binary(0)
+        while self.current.is_op("&&"):
+            line = self.advance().line
+            right = self._binary(0)
+            expr = ast.LogicalOp(line=line, op="&&", left=expr, right=right)
+        return expr
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        operators = _BINARY_LEVELS[level]
+        expr = self._binary(level + 1)
+        while self.current.kind == "op" and self.current.text in operators:
+            operator = self.advance()
+            right = self._binary(level + 1)
+            expr = ast.BinOp(line=operator.line, op=operator.text, left=expr, right=right)
+        return expr
+
+    def _unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            operand = self._unary()
+            return ast.UnOp(line=token.line, op=token.text, operand=operand)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLiteral(line=token.line, value=token.value)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(line=token.line, value=token.value)
+        if token.is_op("("):
+            self.advance()
+            expr = self._expression()
+            self.expect_op(")")
+            return expr
+        if token.kind == "kw" and token.text in (INT, FLOAT):
+            self.advance()
+            self.expect_op("(")
+            operand = self._expression()
+            self.expect_op(")")
+            cast = ast.Cast(line=token.line, operand=operand)
+            cast.type = token.text  # sema validates; parser records the target
+            return cast
+        if token.kind == "ident":
+            self.advance()
+            if self.current.is_op("("):
+                self.advance()
+                args = []
+                if not self.current.is_op(")"):
+                    args.append(self._expression())
+                    while self.accept_op(","):
+                        args.append(self._expression())
+                self.expect_op(")")
+                return ast.Call(line=token.line, name=token.text, args=args)
+            if self.current.is_op("["):
+                indices = []
+                while self.accept_op("["):
+                    indices.append(self._expression())
+                    self.expect_op("]")
+                if len(indices) > 2:
+                    raise CompileError("arrays are at most 2-D", token.line)
+                return ast.Index(line=token.line, name=token.text, indices=indices)
+            return ast.VarRef(line=token.line, name=token.text)
+        raise CompileError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.ProgramAST:
+    """Parse MiniC source into an (untyped) AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,158 @@
+"""Expression-temporary register allocation with spilling.
+
+The code generator evaluates expression trees into *temporaries*. Each
+temporary lives either in a caller-saved register or in a frame spill slot;
+when the register pool runs dry, the oldest register-resident temporary is
+spilled. Around calls every live temporary is forced to its slot (the
+callee may clobber all caller-saved registers).
+
+Scalar variables that semantic analysis homes in callee-saved registers are
+handled as *borrowed* temporaries: they occupy no pool register, are never
+spilled (callee-saved survive calls), and are read-only to the expression
+evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.lang.errors import CompileError
+
+INT_TEMP_REGS = ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9")
+FP_TEMP_REGS = ("f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11")
+
+INT_SAVED_REGS = ("s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7")
+FP_SAVED_REGS = ("f20", "f21", "f22", "f23", "f24", "f25", "f26", "f27")
+
+INT_ARG_REGS = ("a0", "a1", "a2", "a3")
+FP_ARG_REGS = ("f12", "f13", "f14", "f15")
+
+
+class Temp:
+    """One expression temporary."""
+
+    __slots__ = ("kind", "reg", "slot", "borrowed")
+
+    def __init__(
+        self,
+        kind: str,
+        reg: Optional[str] = None,
+        slot: Optional[int] = None,
+        borrowed: bool = False,
+    ):
+        self.kind = kind  # "int" | "float"
+        self.reg = reg
+        self.slot = slot
+        self.borrowed = borrowed
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Temp({self.kind}, reg={self.reg}, slot={self.slot}, borrowed={self.borrowed})"
+
+
+class TempAllocator:
+    """Pool of expression temporaries for one function body.
+
+    Args:
+        emit: callback appending one assembly line.
+        alloc_slot: callback returning a fresh frame word offset.
+        free_slot: callback returning a slot to the free pool.
+    """
+
+    def __init__(
+        self,
+        emit: Callable[[str], None],
+        alloc_slot: Callable[[], int],
+        free_slot: Callable[[int], None],
+        int_pool: Sequence[str] = INT_TEMP_REGS,
+        fp_pool: Sequence[str] = FP_TEMP_REGS,
+    ):
+        self._emit = emit
+        self._alloc_slot = alloc_slot
+        self._free_slot = free_slot
+        self._free = {"int": list(int_pool), "float": list(fp_pool)}
+        #: live owned temporaries, oldest first (spill victims).
+        self.live: List[Temp] = []
+
+    # -- acquisition -------------------------------------------------------
+
+    def acquire(self, kind: str, keep: Sequence[Temp] = ()) -> Temp:
+        """A fresh temporary with a register.
+
+        ``keep`` lists temporaries whose registers must stay resident while
+        satisfying this request (operands whose register names the caller
+        already holds).
+        """
+        temp = Temp(kind, reg=self._take_reg(kind, keep))
+        self.live.append(temp)
+        return temp
+
+    def borrow(self, kind: str, reg: str) -> Temp:
+        """A read-only view of a callee-saved home register."""
+        return Temp(kind, reg=reg, borrowed=True)
+
+    def _take_reg(self, kind: str, keep: Sequence[Temp] = ()) -> str:
+        pool = self._free[kind]
+        if pool:
+            return pool.pop(0)
+        victim = self._oldest_in_register(kind, keep)
+        if victim is None:
+            raise CompileError(f"expression too complex: no spillable {kind} temporary")
+        self._spill(victim)
+        return pool.pop(0)
+
+    def _oldest_in_register(self, kind: str, keep: Sequence[Temp] = ()) -> Optional[Temp]:
+        protected = set(id(temp) for temp in keep)
+        for temp in self.live:
+            if temp.kind == kind and temp.reg is not None and id(temp) not in protected:
+                return temp
+        return None
+
+    # -- spilling ------------------------------------------------------------
+
+    def _spill(self, temp: Temp) -> None:
+        if temp.slot is None:
+            temp.slot = self._alloc_slot()
+        store = "sw" if temp.kind == "int" else "sf"
+        self._emit(f"{store} {temp.reg}, {temp.slot}(sp)")
+        self._free[temp.kind].append(temp.reg)
+        temp.reg = None
+
+    def spill_live(self, exclude: Sequence[Temp] = ()) -> None:
+        """Force every live owned temporary (except ``exclude``) to memory;
+        used before calls and before expression-internal branches."""
+        keep = set(id(temp) for temp in exclude)
+        for temp in self.live:
+            if temp.reg is not None and id(temp) not in keep:
+                self._spill(temp)
+
+    def ensure(self, temp: Temp, keep: Sequence[Temp] = ()) -> str:
+        """Make sure ``temp`` is register-resident; returns the register.
+
+        ``keep`` protects other temporaries' registers from being chosen as
+        the spill victim for this reload.
+        """
+        if temp.reg is not None:
+            return temp.reg
+        temp.reg = self._take_reg(temp.kind, keep)
+        load = "lw" if temp.kind == "int" else "lf"
+        self._emit(f"{load} {temp.reg}, {temp.slot}(sp)")
+        return temp.reg
+
+    # -- release ---------------------------------------------------------------
+
+    def release(self, temp: Temp) -> None:
+        """Return a temporary's resources to the pools."""
+        if temp.borrowed:
+            return
+        if temp.reg is not None:
+            self._free[temp.kind].append(temp.reg)
+            temp.reg = None
+        if temp.slot is not None:
+            self._free_slot(temp.slot)
+            temp.slot = None
+        self.live.remove(temp)
+
+    def assert_drained(self, where: str) -> None:
+        """Invariant check: no temporaries may outlive a statement."""
+        if self.live:  # pragma: no cover - indicates a codegen bug
+            raise CompileError(f"internal: {len(self.live)} temporaries leaked at {where}")

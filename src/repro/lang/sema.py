@@ -1,0 +1,364 @@
+"""MiniC semantic analysis: scopes, types, conversions.
+
+Walks the AST produced by the parser, resolving every name to a
+:class:`Symbol`, typing every expression, and inserting explicit
+:class:`~repro.lang.ast.Cast` nodes wherever C's usual arithmetic
+conversions apply — so the code generator never converts implicitly.
+
+Side effects on the AST:
+
+- every ``Expr`` gets ``.type``;
+- ``VarRef``/``Index`` get ``.symbol``;
+- ``Call`` gets ``.builtin`` (bool) and ``.signature``;
+- ``FuncDef`` gets ``.symbols`` (ordered params+locals) and ``.makes_calls``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.typesys import (
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    is_array,
+    is_scalar,
+    unify_arithmetic,
+)
+
+#: name -> (parameter types, return type)
+BUILTINS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "print_int": ((INT,), VOID),
+    "print_float": ((FLOAT,), VOID),
+    "print_char": ((INT,), VOID),
+    "read_int": ((), INT),
+    "read_float": ((), FLOAT),
+    "sqrt": ((FLOAT,), FLOAT),
+}
+
+_INT_ONLY_OPS = {"%", "<<", ">>", "&", "|", "^"}
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass
+class Symbol:
+    """A resolved variable."""
+
+    name: str
+    type: Union[str, ArrayType]
+    kind: str  # "global" | "param" | "local"
+    line: int = 0
+    #: order of declaration within the function (params first); codegen uses
+    #: this to lay out registers and frame slots.
+    index: int = -1
+
+
+@dataclass
+class FuncSignature:
+    name: str
+    param_types: Tuple[str, ...]
+    return_type: str
+
+
+@dataclass
+class _FunctionContext:
+    func: ast.FuncDef
+    symbols: List[Symbol] = field(default_factory=list)
+    scopes: List[Dict[str, Symbol]] = field(default_factory=list)
+    loop_depth: int = 0
+    makes_calls: bool = False
+
+
+class Analyzer:
+    """One-pass semantic analyzer for a translation unit."""
+
+    def __init__(self, program: ast.ProgramAST):
+        self.program = program
+        self.globals: Dict[str, Symbol] = {}
+        self.functions: Dict[str, FuncSignature] = {}
+
+    def run(self) -> ast.ProgramAST:
+        """Analyze and annotate; returns the same (mutated) AST."""
+        for decl in self.program.globals:
+            self._declare_global(decl)
+        for func in self.program.functions:
+            self._declare_function(func)
+        if "main" not in self.functions:
+            raise CompileError("program has no main function")
+        main = self.functions["main"]
+        if main.param_types:
+            raise CompileError("main must take no parameters")
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.program
+
+    # -- declarations -----------------------------------------------------
+
+    def _declare_global(self, decl: ast.GlobalDecl) -> None:
+        if decl.name in self.globals or decl.name in BUILTINS:
+            raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+        if decl.array_init is not None:
+            size = decl.var_type.size_words
+            if len(decl.array_init) > size:
+                raise CompileError(
+                    f"too many initializers for {decl.name!r} "
+                    f"({len(decl.array_init)} > {size})",
+                    decl.line,
+                )
+        self.globals[decl.name] = Symbol(decl.name, decl.var_type, "global", decl.line)
+
+    def _declare_function(self, func: ast.FuncDef) -> None:
+        if func.name in self.functions or func.name in BUILTINS:
+            raise CompileError(f"duplicate function {func.name!r}", func.line)
+        if func.name in self.globals:
+            raise CompileError(
+                f"function {func.name!r} collides with a global", func.line
+            )
+        self.functions[func.name] = FuncSignature(
+            func.name,
+            tuple(param.var_type for param in func.params),
+            func.return_type,
+        )
+
+    # -- function bodies ----------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDef) -> None:
+        ctx = _FunctionContext(func=func, scopes=[{}])
+        for param in func.params:
+            self._bind(ctx, Symbol(param.name, param.var_type, "param", param.line))
+        self._check_block(ctx, func.body)
+        func.symbols = ctx.symbols
+        func.makes_calls = ctx.makes_calls
+
+    def _bind(self, ctx: _FunctionContext, symbol: Symbol) -> Symbol:
+        scope = ctx.scopes[-1]
+        if symbol.name in scope:
+            raise CompileError(f"duplicate declaration of {symbol.name!r}", symbol.line)
+        symbol.index = len(ctx.symbols)
+        scope[symbol.name] = symbol
+        ctx.symbols.append(symbol)
+        return symbol
+
+    def _resolve(self, ctx: _FunctionContext, name: str, line: int) -> Symbol:
+        for scope in reversed(ctx.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise CompileError(f"undefined variable {name!r}", line)
+
+    def _check_block(self, ctx: _FunctionContext, block: ast.Block) -> None:
+        ctx.scopes.append({})
+        for statement in block.statements:
+            self._check_statement(ctx, statement)
+        ctx.scopes.pop()
+
+    def _check_statement(self, ctx: _FunctionContext, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self._check_block(ctx, statement)
+        elif isinstance(statement, ast.LocalDecl):
+            self._check_local_decl(ctx, statement)
+        elif isinstance(statement, ast.Assign):
+            self._check_assign(ctx, statement)
+        elif isinstance(statement, ast.ExprStmt):
+            self._check_expr(ctx, statement.expr)
+        elif isinstance(statement, ast.If):
+            self._require_int(self._check_expr(ctx, statement.cond), statement.line, "if condition")
+            self._check_block(ctx, statement.then_body)
+            if statement.else_body is not None:
+                self._check_block(ctx, statement.else_body)
+        elif isinstance(statement, ast.While):
+            self._require_int(self._check_expr(ctx, statement.cond), statement.line, "while condition")
+            ctx.loop_depth += 1
+            self._check_block(ctx, statement.body)
+            ctx.loop_depth -= 1
+        elif isinstance(statement, ast.For):
+            ctx.scopes.append({})
+            if statement.init is not None:
+                self._check_statement(ctx, statement.init)
+            if statement.cond is not None:
+                self._require_int(self._check_expr(ctx, statement.cond), statement.line, "for condition")
+            ctx.loop_depth += 1
+            self._check_block(ctx, statement.body)
+            ctx.loop_depth -= 1
+            if statement.step is not None:
+                self._check_statement(ctx, statement.step)
+            ctx.scopes.pop()
+        elif isinstance(statement, ast.Return):
+            self._check_return(ctx, statement)
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if ctx.loop_depth == 0:
+                keyword = "break" if isinstance(statement, ast.Break) else "continue"
+                raise CompileError(f"{keyword} outside a loop", statement.line)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"unknown statement {type(statement).__name__}", statement.line)
+
+    def _check_local_decl(self, ctx: _FunctionContext, decl: ast.LocalDecl) -> None:
+        symbol = self._bind(ctx, Symbol(decl.name, decl.var_type, "local", decl.line))
+        decl.symbol = symbol
+        if decl.init is not None:
+            if is_array(decl.var_type):
+                raise CompileError("local arrays cannot be initialized", decl.line)
+            init_type = self._check_expr(ctx, decl.init)
+            decl.init = self._convert(decl.init, init_type, decl.var_type, decl.line)
+
+    def _check_assign(self, ctx: _FunctionContext, statement: ast.Assign) -> None:
+        target_type = self._check_target(ctx, statement.target)
+        value_type = self._check_expr(ctx, statement.value)
+        statement.value = self._convert(statement.value, value_type, target_type, statement.line)
+
+    def _check_target(self, ctx: _FunctionContext, target: ast.Expr) -> str:
+        if isinstance(target, ast.VarRef):
+            symbol = self._resolve(ctx, target.name, target.line)
+            if is_array(symbol.type):
+                raise CompileError(
+                    f"cannot assign to array {target.name!r} as a whole", target.line
+                )
+            target.symbol = symbol
+            target.type = symbol.type
+            return symbol.type
+        if isinstance(target, ast.Index):
+            return self._check_index(ctx, target)
+        raise CompileError("invalid assignment target", target.line)
+
+    def _check_return(self, ctx: _FunctionContext, statement: ast.Return) -> None:
+        expected = ctx.func.return_type
+        if statement.value is None:
+            if expected != VOID:
+                raise CompileError(
+                    f"{ctx.func.name} must return a {expected}", statement.line
+                )
+            return
+        if expected == VOID:
+            raise CompileError(f"{ctx.func.name} returns void", statement.line)
+        value_type = self._check_expr(ctx, statement.value)
+        statement.value = self._convert(statement.value, value_type, expected, statement.line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _check_expr(self, ctx: _FunctionContext, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.IntLiteral):
+            expr.type = INT
+        elif isinstance(expr, ast.FloatLiteral):
+            expr.type = FLOAT
+        elif isinstance(expr, ast.VarRef):
+            symbol = self._resolve(ctx, expr.name, expr.line)
+            if is_array(symbol.type):
+                raise CompileError(
+                    f"array {expr.name!r} must be indexed", expr.line
+                )
+            expr.symbol = symbol
+            expr.type = symbol.type
+        elif isinstance(expr, ast.Index):
+            expr.type = self._check_index(ctx, expr)
+        elif isinstance(expr, ast.BinOp):
+            expr.type = self._check_binop(ctx, expr)
+        elif isinstance(expr, ast.LogicalOp):
+            self._require_int(self._check_expr(ctx, expr.left), expr.line, f"'{expr.op}' operand")
+            self._require_int(self._check_expr(ctx, expr.right), expr.line, f"'{expr.op}' operand")
+            expr.type = INT
+        elif isinstance(expr, ast.UnOp):
+            expr.type = self._check_unop(ctx, expr)
+        elif isinstance(expr, ast.Cast):
+            operand_type = self._check_expr(ctx, expr.operand)
+            if not is_scalar(operand_type):
+                raise CompileError("cast operand must be scalar", expr.line)
+            # expr.type was set by the parser to the target type.
+        elif isinstance(expr, ast.Call):
+            expr.type = self._check_call(ctx, expr)
+        else:  # pragma: no cover
+            raise CompileError(f"unknown expression {type(expr).__name__}", expr.line)
+        return expr.type
+
+    def _check_index(self, ctx: _FunctionContext, expr: ast.Index) -> str:
+        symbol = self._resolve(ctx, expr.name, expr.line)
+        if not is_array(symbol.type):
+            raise CompileError(f"{expr.name!r} is not an array", expr.line)
+        if len(expr.indices) != len(symbol.type.dims):
+            raise CompileError(
+                f"{expr.name!r} needs {len(symbol.type.dims)} indices, "
+                f"got {len(expr.indices)}",
+                expr.line,
+            )
+        for position, index_expr in enumerate(expr.indices):
+            index_type = self._check_expr(ctx, index_expr)
+            self._require_int(index_type, expr.line, "array index")
+            expr.indices[position] = index_expr
+        expr.symbol = symbol
+        return symbol.type.element
+
+    def _check_binop(self, ctx: _FunctionContext, expr: ast.BinOp) -> str:
+        left_type = self._check_expr(ctx, expr.left)
+        right_type = self._check_expr(ctx, expr.right)
+        if not is_scalar(left_type) or not is_scalar(right_type):
+            raise CompileError(f"operands of {expr.op!r} must be scalars", expr.line)
+        if expr.op in _INT_ONLY_OPS:
+            self._require_int(left_type, expr.line, f"'{expr.op}' operand")
+            self._require_int(right_type, expr.line, f"'{expr.op}' operand")
+            return INT
+        common = unify_arithmetic(left_type, right_type)
+        expr.left = self._convert(expr.left, left_type, common, expr.line)
+        expr.right = self._convert(expr.right, right_type, common, expr.line)
+        if expr.op in _COMPARISONS:
+            return INT
+        return common
+
+    def _check_unop(self, ctx: _FunctionContext, expr: ast.UnOp) -> str:
+        operand_type = self._check_expr(ctx, expr.operand)
+        if expr.op == "-":
+            if not is_scalar(operand_type):
+                raise CompileError("unary '-' needs a scalar", expr.line)
+            return operand_type
+        self._require_int(operand_type, expr.line, f"'{expr.op}' operand")
+        return INT
+
+    def _check_call(self, ctx: _FunctionContext, expr: ast.Call) -> str:
+        if expr.name in BUILTINS:
+            # Builtins lower to syscalls/instructions, not jal: they neither
+            # clobber ra nor caller-saved registers, so the function stays a
+            # leaf.
+            param_types, return_type = BUILTINS[expr.name]
+            expr.builtin = True
+        elif expr.name in self.functions:
+            ctx.makes_calls = True
+            signature = self.functions[expr.name]
+            param_types, return_type = signature.param_types, signature.return_type
+            expr.builtin = False
+        else:
+            raise CompileError(f"undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(param_types):
+            raise CompileError(
+                f"{expr.name} expects {len(param_types)} argument(s), "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        for position, (arg, expected) in enumerate(zip(expr.args, param_types)):
+            arg_type = self._check_expr(ctx, arg)
+            expr.args[position] = self._convert(arg, arg_type, expected, expr.line)
+        return return_type
+
+    # -- conversions ---------------------------------------------------------------
+
+    @staticmethod
+    def _require_int(type_: str, line: int, what: str) -> None:
+        if type_ != INT:
+            raise CompileError(f"{what} must be int, got {type_}", line)
+
+    @staticmethod
+    def _convert(expr: ast.Expr, from_type: str, to_type: str, line: int) -> ast.Expr:
+        if from_type == to_type:
+            return expr
+        if not is_scalar(from_type) or not is_scalar(to_type):
+            raise CompileError(f"cannot convert {from_type} to {to_type}", line)
+        cast = ast.Cast(line=line, operand=expr)
+        cast.type = to_type
+        return cast
+
+
+def analyze_ast(program: ast.ProgramAST) -> ast.ProgramAST:
+    """Run semantic analysis over a parsed program."""
+    return Analyzer(program).run()

@@ -1,0 +1,66 @@
+"""MiniC's type system: ``int``, ``float``, ``void``, and arrays thereof.
+
+Both scalar types occupy one memory word (the ISA is word-addressed), so an
+array of ``n`` elements needs ``n`` words regardless of element type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+INT = "int"
+FLOAT = "float"
+VOID = "void"
+
+SCALAR_TYPES = (INT, FLOAT)
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """A 1-D or 2-D array of a scalar element type."""
+
+    element: str
+    dims: Tuple[int, ...]
+
+    def __post_init__(self):
+        if self.element not in SCALAR_TYPES:
+            raise ValueError(f"array element must be scalar, got {self.element}")
+        if not 1 <= len(self.dims) <= 2:
+            raise ValueError(f"arrays are 1-D or 2-D, got {len(self.dims)} dims")
+        if any(d < 1 for d in self.dims):
+            raise ValueError(f"array dims must be positive: {self.dims}")
+
+    @property
+    def size_words(self) -> int:
+        """Total storage in words."""
+        size = 1
+        for dim in self.dims:
+            size *= dim
+        return size
+
+    def __str__(self) -> str:
+        return self.element + "".join(f"[{d}]" for d in self.dims)
+
+
+def is_scalar(type_) -> bool:
+    """True for ``int`` / ``float``."""
+    return type_ in SCALAR_TYPES
+
+
+def is_array(type_) -> bool:
+    """True for :class:`ArrayType`."""
+    return isinstance(type_, ArrayType)
+
+
+def is_numeric(type_) -> bool:
+    """True for types usable in arithmetic."""
+    return is_scalar(type_)
+
+
+def unify_arithmetic(left, right) -> str:
+    """Result type of a mixed arithmetic expression (int promotes to
+    float, as in C)."""
+    if left == FLOAT or right == FLOAT:
+        return FLOAT
+    return INT

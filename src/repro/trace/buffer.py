@@ -1,0 +1,46 @@
+"""In-memory trace container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.trace.record import TraceRecord
+from repro.trace.segments import DEFAULT_SEGMENTS, SegmentMap
+
+
+class TraceBuffer:
+    """A trace held in memory: a list of records plus its segment map.
+
+    The buffer is iterable (yielding records) and indexable. The simulator
+    appends directly to :attr:`records` via a bound-method alias for speed.
+    """
+
+    def __init__(
+        self,
+        records: Optional[Iterable[TraceRecord]] = None,
+        segments: SegmentMap = DEFAULT_SEGMENTS,
+    ):
+        self.records: List[TraceRecord] = list(records) if records is not None else []
+        self.segments = segments
+
+    def append(self, record: TraceRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Append many records."""
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def head(self, count: int) -> "TraceBuffer":
+        """A new buffer holding the first ``count`` records (the paper caps
+        analysis at a fixed instruction budget from the start of the trace)."""
+        return TraceBuffer(self.records[:count], self.segments)

@@ -1,0 +1,63 @@
+"""Trace file inspection: ``python -m repro.trace.dump <file.pgt>``.
+
+Prints the header, instruction-mix statistics, and optionally a window of
+records in human-readable form — the equivalent of Pixie's trace dumpers.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.trace.io import read_trace_file
+from repro.trace.record import format_record
+from repro.trace.stats import compute_stats
+
+
+def dump_text(path: str, start: int = 0, count: int = 0) -> str:
+    """Render a dump of the trace file at ``path``."""
+    trace = read_trace_file(path)
+    stats = compute_stats(trace)
+    lines = [
+        f"trace file : {path}",
+        f"records    : {stats.total:,}",
+        f"segments   : data base {trace.segments.data_base:#x}, "
+        f"stack floor {trace.segments.stack_floor:#x}, "
+        f"stack top {trace.segments.stack_top:#x}",
+        f"placed ops : {stats.placed:,}",
+        f"branches   : {stats.branches:,} "
+        f"({stats.conditional_branches:,} conditional, "
+        f"{stats.taken_branches:,} taken)",
+        f"memory     : {stats.loads:,} loads, {stats.stores:,} stores",
+        f"fp ops     : {stats.fp_operations:,}",
+        f"syscalls   : {stats.syscalls:,} "
+        f"(every {stats.syscall_interval:,.0f} instructions)",
+        "mix        : "
+        + ", ".join(f"{name}={count:,}" for name, count in stats.by_class.items()),
+    ]
+    if count:
+        lines.append("")
+        lines.append(f"records {start}..{start + count - 1}:")
+        for index in range(start, min(start + count, len(trace))):
+            lines.append(f"  {index:>8d}  {format_record(trace[index])}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace.dump",
+        description="Inspect a binary Paragraph trace (.pgt)",
+    )
+    parser.add_argument("path", help="trace file")
+    parser.add_argument("--start", type=int, default=0, help="first record to show")
+    parser.add_argument(
+        "--count", type=int, default=0, help="number of records to show (0 = none)"
+    )
+    args = parser.parse_args(argv)
+    print(dump_text(args.path, args.start, args.count))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Binary trace file format (streaming reader/writer).
+
+The paper's Pixie traces were produced once and analyzed many times under
+different Paragraph configurations; this module plays the same role. The
+format is deliberately simple:
+
+Header (little-endian)::
+
+    magic   4 bytes  b"PGT1"
+    u32     data_base (words)
+    u32     stack_floor (words)
+    u32     stack_top (words)
+    u64     record count
+
+Each record::
+
+    u8   opclass
+    u8   flags
+    u8   nsrcs
+    u8   ndests
+    i32  aux
+    u32  * nsrcs   source locations
+    u32  * ndests  destination locations
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.record import TraceRecord
+from repro.trace.segments import SegmentMap
+
+MAGIC = b"PGT1"
+_HEADER = struct.Struct("<4sIIIQ")
+_REC_HEAD = struct.Struct("<BBBBi")
+
+
+class TraceFormatError(Exception):
+    """Raised when a trace file is malformed."""
+
+
+def write_trace(
+    stream: BinaryIO,
+    records: Iterable[TraceRecord],
+    segments: SegmentMap,
+    count: int,
+) -> None:
+    """Write a trace. ``count`` must equal the number of records."""
+    stream.write(
+        _HEADER.pack(MAGIC, segments.data_base, segments.stack_floor, segments.stack_top, count)
+    )
+    pack_head = _REC_HEAD.pack
+    pack_loc = struct.Struct("<I").pack
+    written = 0
+    for opclass, srcs, dests, flags, aux in records:
+        stream.write(pack_head(opclass, flags, len(srcs), len(dests), aux))
+        for loc in srcs:
+            stream.write(pack_loc(loc))
+        for loc in dests:
+            stream.write(pack_loc(loc))
+        written += 1
+    if written != count:
+        raise TraceFormatError(f"record count mismatch: promised {count}, wrote {written}")
+
+
+def write_trace_file(path, trace: TraceBuffer) -> None:
+    """Write an in-memory trace buffer to ``path``."""
+    with open(path, "wb") as stream:
+        write_trace(stream, trace.records, trace.segments, len(trace))
+
+
+def read_header(stream: BinaryIO):
+    """Read and validate the header; returns ``(segments, count)``."""
+    raw = stream.read(_HEADER.size)
+    if len(raw) != _HEADER.size:
+        raise TraceFormatError("truncated header")
+    magic, data_base, stack_floor, stack_top, count = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic: {magic!r}")
+    return SegmentMap(data_base=data_base, stack_floor=stack_floor, stack_top=stack_top), count
+
+
+def iter_trace(stream: BinaryIO) -> Iterator[TraceRecord]:
+    """Stream records from an open trace file positioned after the header."""
+    read = stream.read
+    unpack_head = _REC_HEAD.unpack
+    head_size = _REC_HEAD.size
+    while True:
+        raw = read(head_size)
+        if not raw:
+            return
+        if len(raw) != head_size:
+            raise TraceFormatError("truncated record header")
+        opclass, flags, nsrcs, ndests, aux = unpack_head(raw)
+        body = read(4 * (nsrcs + ndests))
+        if len(body) != 4 * (nsrcs + ndests):
+            raise TraceFormatError("truncated record body")
+        all_locs = struct.unpack(f"<{nsrcs + ndests}I", body) if nsrcs + ndests else ()
+        srcs = all_locs[:nsrcs]
+        dests = all_locs[nsrcs:]
+        yield (opclass, srcs, dests, flags, aux)
+
+
+def read_trace_file(path) -> TraceBuffer:
+    """Read a whole trace file into a :class:`TraceBuffer`."""
+    with open(path, "rb") as stream:
+        segments, count = read_header(stream)
+        records = list(iter_trace(stream))
+    if len(records) != count:
+        raise TraceFormatError(f"header promised {count} records, file holds {len(records)}")
+    return TraceBuffer(records, segments)

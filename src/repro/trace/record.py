@@ -1,0 +1,82 @@
+"""Dynamic trace record representation.
+
+A trace is a sequence of *records*, one per dynamically executed instruction.
+For speed and memory economy (traces run to hundreds of thousands of
+records), a record is a plain 5-tuple rather than an object:
+
+``(opclass, srcs, dests, flags, aux)``
+
+========  ==================================================================
+Field     Meaning
+========  ==================================================================
+opclass   :class:`~repro.isa.opclasses.OpClass` as an int (latency class)
+srcs      tuple of source storage-location ids (see ``repro.isa.locations``)
+dests     tuple of destination storage-location ids
+flags     bitmask: :data:`FLAG_TAKEN`, :data:`FLAG_CONDITIONAL`
+aux       instruction index (pc) for control records, source statement id
+          for all others (``-1`` when unknown)
+========  ==================================================================
+
+Index constants (``R_CLASS`` ...) are provided so hot loops can unpack by
+position without magic numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.opclasses import OpClass
+
+R_CLASS = 0
+R_SRCS = 1
+R_DESTS = 2
+R_FLAGS = 3
+R_AUX = 4
+
+#: Set on conditional branch records whose branch was taken.
+FLAG_TAKEN = 1
+#: Set on conditional-branch records (as opposed to unconditional jumps).
+FLAG_CONDITIONAL = 2
+
+TraceRecord = Tuple[int, Tuple[int, ...], Tuple[int, ...], int, int]
+
+
+def make_record(
+    opclass: int,
+    srcs: Tuple[int, ...] = (),
+    dests: Tuple[int, ...] = (),
+    flags: int = 0,
+    aux: int = -1,
+) -> TraceRecord:
+    """Build a trace record with validation (tests/builders; hot paths build
+    tuples directly)."""
+    opclass = int(opclass)
+    if opclass not in OpClass._value2member_map_:
+        raise ValueError(f"invalid opclass: {opclass}")
+    for loc in srcs + dests:
+        if loc < 0:
+            raise ValueError(f"negative storage location: {loc}")
+    return (opclass, tuple(srcs), tuple(dests), flags, aux)
+
+
+def is_control(record: TraceRecord) -> bool:
+    """True for branch and jump records."""
+    return record[R_CLASS] in (OpClass.BRANCH, OpClass.JUMP)
+
+
+def format_record(record: TraceRecord) -> str:
+    """Human-readable rendering of one record (debugging aid)."""
+    from repro.isa.locations import format_location
+
+    opclass, srcs, dests, flags, aux = record
+    name = OpClass(opclass).name
+    parts = [name]
+    if dests:
+        parts.append(",".join(format_location(d) for d in dests))
+    if srcs:
+        parts.append("<- " + ",".join(format_location(s) for s in srcs))
+    if flags & FLAG_CONDITIONAL:
+        parts.append("taken" if flags & FLAG_TAKEN else "not-taken")
+    if aux >= 0:
+        parts.append(f"@{aux}")
+    return " ".join(parts)

@@ -1,0 +1,51 @@
+"""Memory segment classification for renaming decisions.
+
+Paragraph's *Rename Stack* and *Rename Data* switches distinguish memory
+locations by segment. The classification is by word address against a single
+boundary: addresses at or above ``stack_floor`` belong to the stack (it grows
+down from the top of the address space), everything below is data/heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.layout import DATA_BASE_WORDS, STACK_SEGMENT_FLOOR, STACK_TOP_WORDS
+from repro.isa.locations import MEM_BASE, is_register_location, memory_address
+
+SEG_REGISTER = "register"
+SEG_STACK = "stack"
+SEG_DATA = "data"
+
+
+@dataclass(frozen=True)
+class SegmentMap:
+    """Address-space description attached to every trace.
+
+    Attributes:
+        data_base: first word address of the data segment.
+        stack_floor: word addresses >= this are stack.
+        stack_top: initial stack pointer.
+    """
+
+    data_base: int = DATA_BASE_WORDS
+    stack_floor: int = STACK_SEGMENT_FLOOR
+    stack_top: int = STACK_TOP_WORDS
+
+    @property
+    def stack_floor_location(self) -> int:
+        """The storage-location id of the first stack word (precomputed
+        boundary for analyzer hot loops)."""
+        return MEM_BASE + self.stack_floor
+
+    def classify(self, location: int) -> str:
+        """Classify a storage-location id into register/stack/data."""
+        if is_register_location(location):
+            return SEG_REGISTER
+        if memory_address(location) >= self.stack_floor:
+            return SEG_STACK
+        return SEG_DATA
+
+
+#: The default segment map used by the simulator.
+DEFAULT_SEGMENTS = SegmentMap()

@@ -1,0 +1,65 @@
+"""Instruction-mix statistics over a trace (the paper's Table 2 columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.isa.opclasses import PLACED_CLASSES, OpClass
+from repro.trace.record import FLAG_CONDITIONAL, FLAG_TAKEN, TraceRecord
+
+
+@dataclass
+class TraceStats:
+    """Aggregate counts over one trace."""
+
+    total: int = 0
+    placed: int = 0
+    branches: int = 0
+    conditional_branches: int = 0
+    taken_branches: int = 0
+    syscalls: int = 0
+    loads: int = 0
+    stores: int = 0
+    fp_operations: int = 0
+    by_class: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def syscall_interval(self) -> float:
+        """Mean instructions between system calls (paper quotes cc1 at one
+        per ~14,861 instructions)."""
+        if not self.syscalls:
+            return float("inf")
+        return self.total / self.syscalls
+
+
+_FP_CLASSES = {OpClass.FADD, OpClass.FMUL, OpClass.FDIV}
+
+
+def compute_stats(records: Iterable[TraceRecord]) -> TraceStats:
+    """Single pass over a trace computing :class:`TraceStats`."""
+    stats = TraceStats()
+    by_class: Dict[int, int] = {}
+    for record in records:
+        opclass = record[0]
+        stats.total += 1
+        by_class[opclass] = by_class.get(opclass, 0) + 1
+        if opclass in PLACED_CLASSES:
+            stats.placed += 1
+        if opclass == OpClass.BRANCH or opclass == OpClass.JUMP:
+            stats.branches += 1
+            flags = record[3]
+            if flags & FLAG_CONDITIONAL:
+                stats.conditional_branches += 1
+                if flags & FLAG_TAKEN:
+                    stats.taken_branches += 1
+        elif opclass == OpClass.SYSCALL:
+            stats.syscalls += 1
+        elif opclass == OpClass.LOAD:
+            stats.loads += 1
+        elif opclass == OpClass.STORE:
+            stats.stores += 1
+        if opclass in _FP_CLASSES:
+            stats.fp_operations += 1
+    stats.by_class = {OpClass(key).name: value for key, value in sorted(by_class.items())}
+    return stats

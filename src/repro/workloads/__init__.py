@@ -1,0 +1,15 @@
+"""SPEC-analog workload suite and hand-written micro-kernels."""
+
+from repro.workloads.base import Workload
+from repro.workloads.micro import MICRO_KERNELS, micro_program, micro_trace
+from repro.workloads.suite import SUITE_NAMES, all_workloads, load_workload
+
+__all__ = [
+    "Workload",
+    "SUITE_NAMES",
+    "all_workloads",
+    "load_workload",
+    "MICRO_KERNELS",
+    "micro_program",
+    "micro_trace",
+]

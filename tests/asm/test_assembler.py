@@ -1,0 +1,149 @@
+"""Two-pass assembler behaviour."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.asm.errors import AsmError
+from repro.isa.layout import DATA_BASE_WORDS
+from repro.isa.registers import parse_register
+
+
+class TestText:
+    def test_simple_program(self):
+        program = assemble("main: li t0, 1\n addi t0, t0, 2\n")
+        assert len(program) == 2
+        assert program.entry == 0
+        assert program.instructions[0].op == "li"
+        assert program.instructions[1].imm == 2
+
+    def test_entry_defaults_to_zero_without_main(self):
+        program = assemble("li t0, 1\n")
+        assert program.entry == 0
+
+    def test_entry_uses_main_label(self):
+        program = assemble("nop\nmain: nop\n")
+        assert program.entry == 1
+
+    def test_branch_targets_resolved(self):
+        program = assemble("loop: addi t0, t0, 1\n bne t0, t1, loop\n")
+        assert program.instructions[1].target == 0
+
+    def test_forward_branch_target(self):
+        program = assemble("beqz t0, end\n nop\nend: nop\n")
+        assert program.instructions[0].target == 2
+
+    def test_numeric_branch_target_allowed(self):
+        program = assemble("j 0\n")
+        assert program.instructions[0].target == 0
+
+    def test_move_is_addi_zero(self):
+        program = assemble("move t0, t1\n")
+        instr = program.instructions[0]
+        assert instr.op == "move"
+        assert instr.imm == 0
+        assert instr.src1 == parse_register("t1")
+
+    def test_stmt_directive_tags_following_instructions(self):
+        program = assemble(".stmt 7\n nop\n li t0, 1\n.stmt 8\n li t1, 2\n")
+        assert program.instructions[0].stmt_id == 7
+        assert program.instructions[1].stmt_id == 7
+        assert program.instructions[2].stmt_id == 8
+
+    def test_fp_instruction_registers(self):
+        program = assemble("fadd f0, f1, f2\n")
+        instr = program.instructions[0]
+        assert instr.dst == parse_register("f0")
+        assert instr.src2 == parse_register("f2")
+
+    def test_float_immediate(self):
+        program = assemble("lfi f0, 2.5\n")
+        assert program.instructions[0].imm == 2.5
+
+    def test_disassemble_round_trip(self):
+        source = "main: li t0, 5\nloop: addi t0, t0, -1\n bnez t0, loop\n"
+        program = assemble(source)
+        again = assemble(program.disassemble())
+        assert [str(i) for i in again.instructions] == [
+            str(i) for i in program.instructions
+        ]
+
+
+class TestData:
+    def test_word_layout(self):
+        program = assemble(".data\nvals: .word 10, 20, 30\n.text\n nop\n")
+        base = DATA_BASE_WORDS
+        assert program.data[base] == 10
+        assert program.data[base + 2] == 30
+        assert program.data_end == base + 3
+
+    def test_float_layout(self):
+        program = assemble(".data\nf: .float 1.5, -2.0\n.text\n nop\n")
+        assert program.data[DATA_BASE_WORDS] == 1.5
+        assert program.data[DATA_BASE_WORDS + 1] == -2.0
+
+    def test_space_reserves_without_storing(self):
+        program = assemble(".data\nbuf: .space 8\nnext: .word 1\n.text\n nop\n")
+        assert DATA_BASE_WORDS not in program.data
+        assert program.data[DATA_BASE_WORDS + 8] == 1
+
+    def test_data_label_in_la(self):
+        program = assemble(".data\nv: .word 9\n.text\n la t0, v\n")
+        assert program.instructions[0].imm == DATA_BASE_WORDS
+
+    def test_data_label_in_load_absolute(self):
+        program = assemble(".data\nv: .word 9\n.text\n lw t0, v\n")
+        instr = program.instructions[0]
+        assert instr.imm == DATA_BASE_WORDS
+        assert instr.src1 == 0  # zero-register base
+
+    def test_data_label_with_base_register(self):
+        program = assemble(".data\narr: .word 1, 2\n.text\n lw t0, arr(t1)\n")
+        instr = program.instructions[0]
+        assert instr.imm == DATA_BASE_WORDS
+        assert instr.src1 == parse_register("t1")
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            assemble("frob t0\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AsmError, match="expects 3"):
+            assemble("add t0, t1\n")
+
+    def test_undefined_branch_label(self):
+        with pytest.raises(AsmError, match="undefined text label"):
+            assemble("j nowhere\n")
+
+    def test_undefined_data_label(self):
+        with pytest.raises(AsmError, match="undefined data label"):
+            assemble("la t0, missing\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError, match="duplicate label"):
+            assemble("x: nop\nx: nop\n")
+
+    def test_instruction_in_data_segment(self):
+        with pytest.raises(AsmError, match="instruction in .data"):
+            assemble(".data\n add t0, t1, t2\n")
+
+    def test_fp_register_where_int_expected(self):
+        with pytest.raises(AsmError, match="expected integer register"):
+            assemble("add f0, t1, t2\n")
+
+    def test_int_register_where_fp_expected(self):
+        with pytest.raises(AsmError, match="expected fp register"):
+            assemble("fadd t0, f1, f2\n")
+
+    def test_word_rejects_float_value(self):
+        with pytest.raises(AsmError, match="must be integer"):
+            assemble(".data\nv: .word 1.5\n")
+
+    def test_negative_space_rejected(self):
+        with pytest.raises(AsmError, match="non-negative"):
+            assemble(".data\nb: .space -1\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError, match="line 3"):
+            assemble("nop\nnop\nbogus t0\n")

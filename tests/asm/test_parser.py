@@ -1,0 +1,112 @@
+"""Assembler line parsing."""
+
+import pytest
+
+from repro.asm.errors import AsmError
+from repro.asm.parser import (
+    is_int_literal,
+    parse_int,
+    parse_mem_operand,
+    parse_number,
+    parse_source,
+    split_operands,
+    strip_comment,
+)
+
+
+class TestComments:
+    def test_hash_comment_stripped(self):
+        assert strip_comment("add t0, t1, t2 # sum") == "add t0, t1, t2 "
+
+    def test_semicolon_comment_stripped(self):
+        assert strip_comment("nop ; idle") == "nop "
+
+    def test_no_comment_untouched(self):
+        assert strip_comment("lw t0, 4(sp)") == "lw t0, 4(sp)"
+
+
+class TestOperandSplitting:
+    def test_empty(self):
+        assert split_operands("") == []
+
+    def test_multiple_trimmed(self):
+        assert split_operands(" t0 ,t1,  t2 ") == ["t0", "t1", "t2"]
+
+
+class TestSourceLines:
+    def test_blank_and_comment_lines_skipped(self):
+        lines = parse_source("\n# only a comment\n\nnop\n")
+        assert len(lines) == 1
+        assert lines[0].head == "nop"
+
+    def test_label_only_line(self):
+        lines = parse_source("loop:\n")
+        assert lines[0].labels == ["loop"]
+        assert lines[0].head is None
+
+    def test_label_with_instruction(self):
+        lines = parse_source("loop: addi t0, t0, 1")
+        assert lines[0].labels == ["loop"]
+        assert lines[0].head == "addi"
+        assert lines[0].operands == ["t0", "t0", "1"]
+
+    def test_multiple_labels_one_line(self):
+        lines = parse_source("a: b: nop")
+        assert lines[0].labels == ["a", "b"]
+
+    def test_line_numbers_recorded(self):
+        lines = parse_source("nop\n\nnop\n")
+        assert [line.number for line in lines] == [1, 3]
+
+    def test_directives_parsed(self):
+        lines = parse_source(".data\nval: .word 1, 2")
+        assert lines[0].head == ".data"
+        assert lines[1].head == ".word"
+        assert lines[1].operands == ["1", "2"]
+
+    def test_opcode_lowercased(self):
+        lines = parse_source("ADD t0, t1, t2")
+        assert lines[0].head == "add"
+
+
+class TestLiterals:
+    def test_decimal(self):
+        assert parse_int("42", 1) == 42
+
+    def test_negative(self):
+        assert parse_int("-7", 1) == -7
+
+    def test_hex(self):
+        assert parse_int("0x10", 1) == 16
+
+    def test_bad_int_raises_with_line(self):
+        with pytest.raises(AsmError, match="line 9"):
+            parse_int("4x", 9)
+
+    def test_float_number(self):
+        assert parse_number("2.5", 1) == 2.5
+
+    def test_exponent_float(self):
+        assert parse_number("1e-3", 1) == 0.001
+
+    def test_is_int_literal(self):
+        assert is_int_literal("-12")
+        assert not is_int_literal("t0")
+        assert not is_int_literal("1.5")
+
+
+class TestMemoryOperands:
+    def test_offset_and_base(self):
+        assert parse_mem_operand("4(sp)", 1) == ("4", "sp")
+
+    def test_bare_base_defaults_offset_zero(self):
+        assert parse_mem_operand("(t0)", 1) == ("0", "t0")
+
+    def test_label_without_base(self):
+        assert parse_mem_operand("table", 1) == ("table", None)
+
+    def test_label_with_base(self):
+        assert parse_mem_operand("table(t1)", 1) == ("table", "t1")
+
+    def test_negative_offset(self):
+        assert parse_mem_operand("-8(sp)", 1) == ("-8", "sp")

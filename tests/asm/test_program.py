@@ -1,0 +1,30 @@
+"""Program container behaviour."""
+
+from repro.asm.assembler import assemble
+
+
+class TestProgram:
+    def test_len(self):
+        assert len(assemble("nop\nnop\nnop\n")) == 3
+
+    def test_labels_preserved(self):
+        program = assemble("start: nop\nloop: nop\n j loop\n")
+        assert program.labels == {"start": 0, "loop": 1}
+
+    def test_disassemble_emits_labels_in_place(self):
+        program = assemble("main: li t0, 1\nloop: addi t0, t0, -1\n bnez t0, loop\n")
+        text = program.disassemble()
+        lines = text.splitlines()
+        assert lines[0] == "main:"
+        assert "loop:" in lines
+        # the label precedes the instruction it names
+        assert lines.index("loop:") < lines.index("    bnez t0, 1")
+
+    def test_data_end_tracks_layout(self):
+        program = assemble(".data\na: .word 1\nb: .space 5\n.text\n nop\n")
+        assert program.data_end == program.data_base + 6
+
+    def test_empty_program(self):
+        program = assemble("")
+        assert len(program) == 0
+        assert program.disassemble() == ""

@@ -1,0 +1,52 @@
+"""Average-only baseline must agree with Paragraph's critical path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.average_only import average_parallelism
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.core.resources import ResourceModel
+from repro.trace.synthetic import random_trace, serial_chain
+
+
+class TestAgreement:
+    CONFIGS = [
+        AnalysisConfig(),
+        AnalysisConfig(syscall_policy="optimistic"),
+        AnalysisConfig.no_renaming(),
+        AnalysisConfig.registers_renamed(),
+        AnalysisConfig(latency=LatencyTable.unit()),
+    ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000), length=st.integers(0, 250))
+    def test_matches_paragraph_on_random_traces(self, seed, length):
+        trace = random_trace(seed, length)
+        for config in self.CONFIGS:
+            full = analyze(trace, config)
+            baseline = average_parallelism(trace, config)
+            assert baseline.critical_path_length == full.critical_path_length
+            assert baseline.placed_operations == full.placed_operations
+
+    def test_serial_chain(self):
+        result = average_parallelism(serial_chain(64), AnalysisConfig(latency=LatencyTable.unit()))
+        assert result.average_parallelism == 1.0
+
+    def test_empty_trace(self):
+        result = average_parallelism([], AnalysisConfig())
+        assert result.average_parallelism == 0.0
+
+
+class TestLimitations:
+    def test_window_unsupported(self):
+        with pytest.raises(ValueError, match="no window"):
+            average_parallelism(serial_chain(3), AnalysisConfig(window_size=4))
+
+    def test_resources_unsupported(self):
+        with pytest.raises(ValueError):
+            average_parallelism(
+                serial_chain(3),
+                AnalysisConfig(resources=ResourceModel(universal=2)),
+            )

@@ -1,0 +1,73 @@
+"""Shared fixtures: small traces, compiled programs, capped workload runs."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.lang.compiler import compile_source
+from repro.trace.synthetic import TraceBuilder
+from repro.workloads.suite import all_workloads
+
+#: Word address used as "variable A/B/C/D/S" in paper-figure traces.
+DATA = 0x1000
+
+
+@pytest.fixture
+def unit_config():
+    """All-unit latencies, full renaming, conservative syscalls."""
+    return AnalysisConfig(latency=LatencyTable.unit())
+
+
+@pytest.fixture
+def figure1_trace():
+    """The paper's Figure 1 trace: S := A + B + C + D with fresh registers.
+
+    Registers 1..7 stand in for r0, r1, r2, r3, r4, r5, r6.
+    """
+    builder = TraceBuilder()
+    builder.load(1, DATA + 0)  # load r0, A
+    builder.load(2, DATA + 1)  # load r1, B
+    builder.ialu(5, 1, 2)      # r4 <- r0 + r1
+    builder.load(3, DATA + 2)  # load r2, C
+    builder.load(4, DATA + 3)  # load r3, D
+    builder.ialu(6, 3, 4)      # r5 <- r2 + r3
+    builder.ialu(7, 5, 6)      # r6 <- r4 + r5
+    builder.store(7, DATA + 8)  # store r6, S
+    return builder.build()
+
+
+@pytest.fixture
+def figure2_trace():
+    """Figure 2: the same computation with r0/r1 reused (storage deps)."""
+    builder = TraceBuilder()
+    builder.load(1, DATA + 0)  # load r0, A
+    builder.load(2, DATA + 1)  # load r1, B
+    builder.ialu(5, 1, 2)      # r4 <- r0 + r1
+    builder.load(1, DATA + 2)  # load r0, C
+    builder.load(2, DATA + 3)  # load r1, D
+    builder.ialu(6, 1, 2)      # r5 <- r0 + r1
+    builder.ialu(7, 5, 6)      # r6 <- r4 + r5
+    builder.store(7, DATA + 8)  # store r6, S
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def workload_traces():
+    """Medium (60k-instruction) traces for every suite workload — long
+    enough to get past initialization into kernel code."""
+    return {w.name: w.trace(max_instructions=60_000) for w in all_workloads()}
+
+
+@pytest.fixture(scope="session")
+def compile_and_run():
+    """Helper: compile MiniC source, run it, return (result, trace)."""
+
+    def _run(source, static_frames=False, max_instructions=500_000, **kwargs):
+        from repro.cpu.machine import Machine
+
+        program = compile_source(source, static_frames=static_frames)
+        machine = Machine(program, **kwargs)
+        result = machine.run(max_instructions=max_instructions)
+        return result, machine.trace
+
+    return _run

@@ -1,0 +1,123 @@
+"""Branch predictor models."""
+
+from repro.core.analyzer import analyze
+from repro.core.branch import (
+    PREDICTOR_NAMES,
+    BimodalPredictor,
+    GSharePredictor,
+    StaticPredictor,
+    make_predictor,
+)
+from repro.core.config import AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.trace.synthetic import TraceBuilder
+
+import pytest
+
+
+class TestFactories:
+    def test_all_names_construct(self):
+        for name in PREDICTOR_NAMES:
+            predictor = make_predictor(name)
+            predictor.update(0, True)
+            assert isinstance(predictor.predict(0), bool)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown branch predictor"):
+            make_predictor("oracle")
+
+
+class TestStatic:
+    def test_taken_always_taken(self):
+        predictor = StaticPredictor(True)
+        predictor.update(1, False)
+        assert predictor.predict(1) is True
+
+    def test_not_taken(self):
+        assert StaticPredictor(False).predict(5) is False
+
+
+class TestBimodal:
+    def test_learns_strongly_taken_branch(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(100, True)
+        assert predictor.predict(100) is True
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(100, False)
+        assert predictor.predict(100) is False
+
+    def test_hysteresis_survives_single_flip(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(7, True)
+        predictor.update(7, False)
+        assert predictor.predict(7) is True
+
+    def test_distinct_pcs_independent(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(1, True)
+            predictor.update(2, False)
+        assert predictor.predict(1) is True
+        assert predictor.predict(2) is False
+
+    def test_saturating_counters_bounded(self):
+        predictor = BimodalPredictor(bits=4)
+        for _ in range(100):
+            predictor.update(3, True)
+        assert max(predictor._counters) <= 3
+        for _ in range(100):
+            predictor.update(3, False)
+        assert min(predictor._counters) >= 0
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        # T,N,T,N ... is hard for bimodal but trivial for gshare history.
+        predictor = GSharePredictor(bits=8)
+        outcome = True
+        for _ in range(200):
+            predictor.update(9, outcome)
+            outcome = not outcome
+        hits = 0
+        for _ in range(50):
+            if predictor.predict(9) == outcome:
+                hits += 1
+            predictor.update(9, outcome)
+            outcome = not outcome
+        assert hits >= 45
+
+
+class TestAnalyzerIntegration:
+    def _trace(self, takens):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        for taken in takens:
+            builder.branch(1, taken=taken, pc=5)
+            builder.ialu(2)
+        return builder.build()
+
+    def test_perfect_prediction_no_firewalls(self):
+        trace = self._trace([True, False] * 10)
+        result = analyze(trace, AnalysisConfig(latency=LatencyTable.unit()))
+        assert result.mispredictions == 0
+
+    def test_static_taken_mispredicts_not_taken(self):
+        trace = self._trace([True, False, False])
+        config = AnalysisConfig(latency=LatencyTable.unit(), branch_predictor="taken")
+        result = analyze(trace, config)
+        assert result.mispredictions == 2
+
+    def test_mispredictions_lower_parallelism(self):
+        trace = self._trace([True, False] * 50)
+        base = AnalysisConfig(latency=LatencyTable.unit())
+        perfect = analyze(trace, base)
+        mispredicted = analyze(trace, base.derive(branch_predictor="not-taken"))
+        assert (
+            mispredicted.available_parallelism <= perfect.available_parallelism
+        )
+        assert mispredicted.mispredictions == 50

@@ -1,0 +1,60 @@
+"""Analysis configuration presets and validation."""
+
+import pytest
+
+from repro.core.config import CONSERVATIVE, OPTIMISTIC, AnalysisConfig
+
+
+class TestPresets:
+    def test_dataflow_limit(self):
+        config = AnalysisConfig.dataflow_limit()
+        assert config.rename_registers and config.rename_stack and config.rename_data
+        assert config.window_size is None
+        assert config.syscall_policy == CONSERVATIVE
+
+    def test_dataflow_limit_optimistic(self):
+        assert AnalysisConfig.dataflow_limit(OPTIMISTIC).syscall_policy == OPTIMISTIC
+
+    def test_no_renaming(self):
+        config = AnalysisConfig.no_renaming()
+        assert not (config.rename_registers or config.rename_stack or config.rename_data)
+
+    def test_registers_renamed(self):
+        config = AnalysisConfig.registers_renamed()
+        assert config.rename_registers
+        assert not config.rename_stack and not config.rename_data
+
+    def test_registers_and_stack(self):
+        config = AnalysisConfig.registers_and_stack_renamed()
+        assert config.rename_registers and config.rename_stack
+        assert not config.rename_data
+
+    def test_windowed(self):
+        assert AnalysisConfig.windowed(128).window_size == 128
+
+
+class TestValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError, match="syscall_policy"):
+            AnalysisConfig(syscall_policy="never")
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="window_size"):
+            AnalysisConfig(window_size=-5)
+
+
+class TestDerive:
+    def test_derive_changes_one_field(self):
+        base = AnalysisConfig()
+        derived = base.derive(window_size=64)
+        assert derived.window_size == 64
+        assert derived.syscall_policy == base.syscall_policy
+        assert base.window_size is None  # original untouched (frozen)
+
+    def test_describe_mentions_switches(self):
+        text = AnalysisConfig.registers_renamed().describe()
+        assert "rename=regs" in text
+        assert "window=inf" in text
+
+    def test_describe_no_renaming(self):
+        assert "rename=none" in AnalysisConfig.no_renaming().describe()

@@ -1,0 +1,130 @@
+"""Explicit DDG construction."""
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.ddg import build_ddg
+from repro.core.latency import LatencyTable
+from repro.core.resources import ResourceModel
+from repro.trace.synthetic import TraceBuilder, random_trace, serial_chain
+
+DATA = 0x1000
+
+
+def unit(**kwargs):
+    return AnalysisConfig(latency=LatencyTable.unit(), **kwargs)
+
+
+class TestStructure:
+    def test_raw_edges(self):
+        trace = TraceBuilder().ialu(1).ialu(2, 1).build()
+        ddg = build_ddg(trace, unit())
+        assert ddg.graph.edges[0, 1]["kind"] == "raw"
+
+    def test_war_edges_from_consumers(self):
+        builder = TraceBuilder()
+        builder.ialu(1)       # 0: creates v1
+        builder.ialu(2, 1)    # 1: consumes v1
+        builder.ialu(1)       # 2: rewrites location 1
+        ddg = build_ddg(builder.build(), unit(rename_registers=False))
+        assert ddg.graph.edges[1, 2]["kind"] == "war"
+
+    def test_no_war_edges_with_renaming(self):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        builder.ialu(2, 1)
+        builder.ialu(1)
+        ddg = build_ddg(builder.build(), unit())
+        kinds = {k for _, _, k in ddg.graph.edges(data="kind")}
+        assert "war" not in kinds
+
+    def test_syscall_fence_edge(self):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        builder.syscall()
+        builder.ialu(2)
+        ddg = build_ddg(builder.build(), unit())
+        assert ddg.graph.edges[0, 1]["kind"] == "fence"
+        assert ddg.graph.edges[1, 2]["kind"] == "firewall"
+
+    def test_optimistic_syscall_not_a_node(self):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        builder.syscall()
+        ddg = build_ddg(builder.build(), unit(syscall_policy="optimistic"))
+        assert ddg.placed_operations == 1
+
+    def test_branches_not_nodes(self):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        builder.branch(1)
+        ddg = build_ddg(builder.build(), unit())
+        assert ddg.placed_operations == 1
+
+    def test_node_attributes(self):
+        trace = TraceBuilder().ialu(1).build()
+        ddg = build_ddg(trace, unit())
+        node = ddg.graph.nodes[0]
+        assert node["level"] == 0
+        assert node["top"] == 1
+        assert node["kind"] == "op"
+
+
+class TestCriticalPath:
+    def test_serial_chain_path(self):
+        ddg = build_ddg(serial_chain(10), unit())
+        path = ddg.critical_path_nodes()
+        assert path == list(range(10))
+
+    def test_path_levels_strictly_increase(self):
+        trace = random_trace(31, 400)
+        ddg = build_ddg(trace, unit())
+        path = ddg.critical_path_nodes()
+        levels = [ddg.graph.nodes[n]["level"] for n in path]
+        assert levels == sorted(levels)
+        assert levels[-1] == ddg.critical_path_length - 1
+
+    def test_empty_trace(self):
+        ddg = build_ddg(TraceBuilder().build(), unit())
+        assert ddg.critical_path_nodes() == []
+        assert ddg.critical_path_length == 0
+
+
+class TestVerification:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_verify_levels_random_traces(self, seed):
+        trace = random_trace(seed, 500)
+        for config in (
+            unit(),
+            unit(rename_registers=False, rename_stack=False, rename_data=False),
+            unit(window_size=16),
+            AnalysisConfig(),  # Table 1 latencies
+        ):
+            ddg = build_ddg(trace, config)
+            ddg.verify_levels()
+
+    def test_verify_detects_corruption(self):
+        ddg = build_ddg(serial_chain(5), unit())
+        ddg.graph.nodes[3]["level"] = 0
+        with pytest.raises(AssertionError):
+            ddg.verify_levels()
+
+
+class TestGuards:
+    def test_resources_rejected(self):
+        with pytest.raises(ValueError, match="resource"):
+            build_ddg(serial_chain(3), unit(resources=ResourceModel(universal=1)))
+
+    def test_branch_predictor_rejected(self):
+        with pytest.raises(ValueError, match="branch"):
+            build_ddg(serial_chain(3), unit(branch_predictor="taken"))
+
+    def test_max_records_enforced(self):
+        with pytest.raises(ValueError, match="max_records"):
+            build_ddg(serial_chain(100), unit(), max_records=50)
+
+    def test_to_result_fields(self):
+        result = build_ddg(serial_chain(5), unit()).to_result()
+        assert result.placed_operations == 5
+        assert result.critical_path_length == 5
+        assert result.profile.total_operations == 5

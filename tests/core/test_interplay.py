@@ -1,0 +1,87 @@
+"""Constraint-interplay tests: combinations of analyzer switches."""
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.core.resources import ResourceModel
+from repro.trace.synthetic import TraceBuilder, independent_ops, random_trace
+
+
+def unit(**kwargs):
+    return AnalysisConfig(latency=LatencyTable.unit(), **kwargs)
+
+
+class TestWindowWithResources:
+    def test_both_limits_respected(self):
+        trace = independent_ops(120)
+        result = analyze(
+            trace, unit(window_size=8, resources=ResourceModel(universal=3))
+        )
+        assert result.profile.max_width <= 3  # the tighter constraint wins
+
+    def test_resources_tighter_than_window(self):
+        trace = independent_ops(120)
+        window_only = analyze(trace, unit(window_size=4))
+        both = analyze(
+            trace, unit(window_size=4, resources=ResourceModel(universal=2))
+        )
+        assert both.critical_path_length >= window_only.critical_path_length
+
+
+class TestWindowWithSyscalls:
+    def test_firewalls_compose(self):
+        builder = TraceBuilder()
+        for index in range(40):
+            builder.ialu(1 + index % 8)
+            if index % 10 == 9:
+                builder.syscall()
+        trace = builder.build()
+        conservative = analyze(trace, unit(window_size=4))
+        optimistic = analyze(
+            trace, unit(window_size=4, syscall_policy="optimistic")
+        )
+        assert (
+            conservative.critical_path_length >= optimistic.critical_path_length
+        )
+        assert conservative.firewalls == 4
+
+
+class TestDisambiguationWithRenaming:
+    def test_conservative_mem_dominates_memory_renaming(self):
+        # with no alias information, renaming memory locations cannot
+        # recover the store->load ordering
+        builder = TraceBuilder()
+        for i in range(20):
+            builder.ialu(1)
+            builder.store(1, 0x1000 + i)
+            builder.load(2, 0x2000 + i)
+        trace = builder.build()
+        renamed = analyze(trace, unit(memory_disambiguation="conservative"))
+        kept = analyze(
+            trace,
+            unit(memory_disambiguation="conservative", rename_data=False),
+        )
+        assert renamed.critical_path_length >= 2 * 20
+        assert kept.critical_path_length >= renamed.critical_path_length
+
+
+class TestPredictorWithWindow:
+    def test_mispredictions_add_to_window_limits(self):
+        trace = random_trace(99, 800)
+        base = analyze(trace, AnalysisConfig(window_size=64))
+        with_bp = analyze(
+            trace, AnalysisConfig(window_size=64, branch_predictor="not-taken")
+        )
+        assert with_bp.critical_path_length >= base.critical_path_length
+
+    def test_lifetimes_collected_under_all_constraints(self):
+        trace = random_trace(7, 500)
+        config = AnalysisConfig(
+            window_size=16,
+            branch_predictor="bimodal",
+            resources=ResourceModel(universal=4),
+            collect_lifetimes=True,
+        )
+        result = analyze(trace, config)
+        assert result.lifetimes is not None
+        assert result.lifetimes.values_created > 0

@@ -1,0 +1,51 @@
+"""Latency table (paper Table 1)."""
+
+import pytest
+
+from repro.core.latency import LatencyTable
+from repro.isa.opclasses import OpClass
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        table = LatencyTable.default()
+        assert table.steps[OpClass.IALU] == 1
+        assert table.steps[OpClass.IMUL] == 6
+        assert table.steps[OpClass.IDIV] == 12
+        assert table.steps[OpClass.FADD] == 6
+        assert table.steps[OpClass.FMUL] == 6
+        assert table.steps[OpClass.FDIV] == 12
+        assert table.steps[OpClass.LOAD] == 1
+        assert table.steps[OpClass.STORE] == 1
+        assert table.steps[OpClass.SYSCALL] == 1
+
+    def test_unit_table(self):
+        table = LatencyTable.unit()
+        assert all(value == 1 for value in table.steps.values())
+
+
+class TestValidationAndDerivation:
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError, match="missing class"):
+            LatencyTable({OpClass.IALU: 1})
+
+    def test_zero_latency_rejected(self):
+        steps = {opclass: 1 for opclass in OpClass}
+        steps[OpClass.LOAD] = 0
+        with pytest.raises(ValueError, match="must be >= 1"):
+            LatencyTable(steps)
+
+    def test_with_overrides(self):
+        table = LatencyTable.default().with_overrides(LOAD=3, IMUL=2)
+        assert table.steps[OpClass.LOAD] == 3
+        assert table.steps[OpClass.IMUL] == 2
+        assert table.steps[OpClass.IDIV] == 12  # untouched
+
+    def test_with_overrides_unknown_name(self):
+        with pytest.raises(KeyError):
+            LatencyTable.default().with_overrides(WIBBLE=2)
+
+    def test_as_list_indexed_by_class_value(self):
+        listed = LatencyTable.default().as_list()
+        assert listed[int(OpClass.IDIV)] == 12
+        assert len(listed) == len(OpClass)

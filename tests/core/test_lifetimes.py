@@ -1,0 +1,91 @@
+"""Value lifetime and degree-of-sharing collection."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.core.lifetimes import LifetimeStats
+from repro.trace.synthetic import TraceBuilder
+
+
+def unit(**kwargs):
+    return AnalysisConfig(latency=LatencyTable.unit(), collect_lifetimes=True, **kwargs)
+
+
+class TestStats:
+    def test_record_and_means(self):
+        stats = LifetimeStats()
+        stats.record(lifetime=2, uses=1)
+        stats.record(lifetime=4, uses=3)
+        assert stats.values_created == 2
+        assert stats.mean_lifetime == 3.0
+        assert stats.mean_sharing == 2.0
+
+    def test_dead_fraction(self):
+        stats = LifetimeStats()
+        stats.record(0, 0)
+        stats.record(5, 2)
+        assert stats.dead_value_fraction == 0.5
+
+    def test_quantiles(self):
+        stats = LifetimeStats()
+        for lifetime in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):
+            stats.record(lifetime, 1)
+        assert stats.quantile_lifetime(0.5) == 5
+        assert stats.quantile_lifetime(1.0) == 10
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            LifetimeStats().quantile_lifetime(1.5)
+
+    def test_empty_stats(self):
+        stats = LifetimeStats()
+        assert stats.mean_lifetime == 0.0
+        assert stats.mean_sharing == 0.0
+        assert stats.dead_value_fraction == 0.0
+
+
+class TestCollection:
+    def test_lifetime_measured_creation_to_last_use(self):
+        builder = TraceBuilder()
+        builder.ialu(1)             # v @ 0
+        builder.ialu(2, 1)          # use @ 1
+        builder.ialu(3, 2)          # @2
+        builder.ialu(4, 3, 1)       # deepest use of v @ 3 -> lifetime 3
+        result = analyze(builder.build(), unit())
+        assert result.lifetimes.lifetime_histogram.get(3) == 1
+
+    def test_unused_value_has_zero_lifetime(self):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        result = analyze(builder.build(), unit())
+        assert result.lifetimes.lifetime_histogram == {0: 1}
+        assert result.lifetimes.sharing_histogram == {0: 1}
+
+    def test_sharing_counts_every_consumer(self):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        for dest in (2, 3, 4):
+            builder.ialu(dest, 1)
+        result = analyze(builder.build(), unit())
+        assert result.lifetimes.sharing_histogram.get(3) == 1
+
+    def test_preexisting_values_excluded(self):
+        builder = TraceBuilder()
+        builder.ialu(2, 9)  # 9 is pre-existing
+        result = analyze(builder.build(), unit())
+        # only the computed value (location 2) is accounted
+        assert result.lifetimes.values_created == 1
+
+    def test_eviction_and_end_flush_both_counted(self):
+        builder = TraceBuilder()
+        builder.ialu(1)      # evicted by the rewrite below
+        builder.ialu(2, 1)
+        builder.ialu(1)      # still live at end of trace
+        result = analyze(builder.build(), unit())
+        assert result.lifetimes.values_created == 3
+
+    def test_disabled_by_default(self):
+        result = analyze(TraceBuilder().ialu(1).build(), AnalysisConfig())
+        assert result.lifetimes is None

@@ -1,0 +1,51 @@
+"""Machine-model presets."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.machines import MACHINE_MODELS, machine_model
+from repro.trace.synthetic import random_trace
+
+
+class TestRegistry:
+    def test_expected_models(self):
+        assert list(MACHINE_MODELS) == [
+            "scalar",
+            "superscalar-4",
+            "superscalar-16",
+            "restricted-dataflow",
+            "ideal-dataflow",
+        ]
+
+    def test_lookup(self):
+        assert machine_model("scalar").config.window_size == 1
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown machine model"):
+            machine_model("quantum")
+
+    def test_ideal_is_the_paper_configuration(self):
+        config = machine_model("ideal-dataflow").config
+        assert config.rename_registers and config.rename_stack and config.rename_data
+        assert config.window_size is None
+        assert config.resources is None
+        assert config.branch_predictor is None
+
+
+class TestOrdering:
+    def test_hierarchy_on_random_trace(self):
+        trace = random_trace(41, 1500)
+        results = {
+            name: analyze(trace, model.config).available_parallelism
+            for name, model in MACHINE_MODELS.items()
+        }
+        assert results["scalar"] <= 1.0 + 1e-9
+        assert results["scalar"] <= results["superscalar-4"] + 1e-9
+        assert results["superscalar-16"] <= results["restricted-dataflow"] + 1e-9
+        assert results["restricted-dataflow"] <= results["ideal-dataflow"] + 1e-9
+
+    def test_superscalar_width_bound(self):
+        trace = random_trace(42, 1500)
+        ss4 = analyze(trace, machine_model("superscalar-4").config)
+        assert ss4.profile.max_width <= 4
+        assert ss4.available_parallelism <= 4.0

@@ -1,0 +1,69 @@
+"""Functional-unit resource models."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.core.resources import ResourceModel, ResourceState
+from repro.isa.opclasses import OpClass
+from repro.trace.synthetic import independent_ops
+
+
+class TestModel:
+    def test_unconstrained_detection(self):
+        assert ResourceModel().unconstrained
+        assert not ResourceModel(universal=4).unconstrained
+        assert not ResourceModel(per_class={OpClass.FMUL: 2}).unconstrained
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceModel(universal=0)
+        with pytest.raises(ValueError):
+            ResourceModel(per_class={OpClass.IALU: 0})
+
+
+class TestState:
+    def test_universal_slots_fill_level(self):
+        state = ResourceState(ResourceModel(universal=2))
+        assert state.place(0, 0) == 0
+        assert state.place(0, 0) == 0
+        assert state.place(0, 0) == 1  # third op overflows to the next level
+
+    def test_per_class_slots_independent(self):
+        state = ResourceState(
+            ResourceModel(per_class={OpClass.IALU: 1, OpClass.FMUL: 1})
+        )
+        assert state.place(int(OpClass.IALU), 0) == 0
+        assert state.place(int(OpClass.FMUL), 0) == 0  # other class unaffected
+        assert state.place(int(OpClass.IALU), 0) == 1
+
+    def test_unlimited_class_unaffected(self):
+        state = ResourceState(ResourceModel(per_class={OpClass.FMUL: 1}))
+        for _ in range(10):
+            assert state.place(int(OpClass.IALU), 0) == 0
+
+    def test_earliest_respected(self):
+        state = ResourceState(ResourceModel(universal=1))
+        assert state.place(0, 5) == 5
+        assert state.place(0, 5) == 6
+
+
+class TestIntegration:
+    def test_k_units_bound_parallelism(self):
+        trace = independent_ops(60)
+        for k in (1, 2, 5):
+            config = AnalysisConfig(
+                latency=LatencyTable.unit(), resources=ResourceModel(universal=k)
+            )
+            result = analyze(trace, config)
+            assert result.profile.max_width <= k
+            assert result.available_parallelism <= k
+            assert result.critical_path_length == 60 // k
+
+    def test_unconstrained_model_is_free(self):
+        trace = independent_ops(60)
+        config = AnalysisConfig(
+            latency=LatencyTable.unit(), resources=ResourceModel()
+        )
+        assert analyze(trace, config).critical_path_length == 1

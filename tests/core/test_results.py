@@ -1,0 +1,79 @@
+"""Analysis result container and measurement-error calculation."""
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.core.results import AnalysisResult, measurement_error
+from repro.trace.synthetic import TraceBuilder, serial_chain
+
+
+def result_with(ap_placed, cp):
+    return AnalysisResult(
+        records_processed=ap_placed,
+        placed_operations=ap_placed,
+        critical_path_length=cp,
+        profile=None,
+        syscalls=0,
+        firewalls=0,
+        branches=0,
+        mispredictions=0,
+        peak_live_well=0,
+        lifetimes=None,
+        config=AnalysisConfig(),
+    )
+
+
+class TestAvailableParallelism:
+    def test_ratio(self):
+        assert result_with(100, 25).available_parallelism == 4.0
+
+    def test_zero_critical_path(self):
+        assert result_with(0, 0).available_parallelism == 0.0
+
+    def test_summary_line(self):
+        text = result_with(10, 5).summary()
+        assert "placed=10" in text
+        assert "critical_path=5" in text
+        assert "parallelism=2.00" in text
+
+
+class TestMeasurementError:
+    def test_paper_formula(self):
+        # cc1: 1 - 36.21/52.95 ~= 0.316 -> the paper rounds to 0.32
+        conservative = result_with(3621, 100)
+        optimistic = result_with(5295, 100)
+        error = measurement_error(conservative, optimistic)
+        assert abs(error - (1 - 3621 / 5295)) < 1e-12
+
+    def test_identical_results_zero_error(self):
+        result = result_with(50, 10)
+        assert measurement_error(result, result) == 0.0
+
+    def test_zero_optimistic_guard(self):
+        assert measurement_error(result_with(1, 1), result_with(0, 0)) == 0.0
+
+    def test_on_real_analysis(self):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        builder.ialu(2, 1)
+        builder.syscall()
+        builder.ialu(3)
+        builder.ialu(4, 3)
+        trace = builder.build()
+        unit = LatencyTable.unit()
+        conservative = analyze(trace, AnalysisConfig(latency=unit))
+        optimistic = analyze(
+            trace, AnalysisConfig(latency=unit, syscall_policy="optimistic")
+        )
+        error = measurement_error(conservative, optimistic)
+        assert 0.0 <= error < 1.0
+        # the firewall lengthened the path, so some error exists
+        assert error > 0.0
+
+
+class TestConfigInteraction:
+    def test_serial_chain_error_free(self):
+        trace = serial_chain(30)
+        conservative = analyze(trace, AnalysisConfig())
+        optimistic = analyze(trace, AnalysisConfig(syscall_policy="optimistic"))
+        assert measurement_error(conservative, optimistic) == 0.0

@@ -1,0 +1,75 @@
+"""Single-source branch opcodes and corner semantics."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.cpu.machine import Machine
+from repro.isa.registers import parse_register
+
+
+def run_asm(source):
+    machine = Machine(assemble(source))
+    machine.run(max_instructions=10_000)
+    return machine
+
+
+def taken(op, value):
+    """Return True if `op` with the given register value branched."""
+    machine = run_asm(
+        f"li t0, {value}\n {op} t0, yes\n li t1, 0\n j end\nyes: li t1, 1\nend: nop\n"
+    )
+    return machine.regs[parse_register("t1")] == 1
+
+
+class TestBranchConditions:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("blez", -1, True),
+            ("blez", 0, True),
+            ("blez", 1, False),
+            ("bgtz", 1, True),
+            ("bgtz", 0, False),
+            ("bltz", -1, True),
+            ("bltz", 0, False),
+            ("bgez", 0, True),
+            ("bgez", -1, False),
+            ("beqz", 0, True),
+            ("beqz", 5, False),
+            ("bnez", 5, True),
+            ("bnez", 0, False),
+        ],
+    )
+    def test_condition(self, op, value, expected):
+        assert taken(op, value) is expected
+
+
+class TestBranchLoops:
+    def test_countdown_with_bgtz(self):
+        machine = run_asm(
+            "li t0, 5\n li t1, 0\nloop: addi t1, t1, 1\n addi t0, t0, -1\n"
+            " bgtz t0, loop\n"
+        )
+        assert machine.regs[parse_register("t1")] == 5
+
+    def test_backward_and_forward_mix(self):
+        machine = run_asm(
+            "li t0, 0\nhead: addi t0, t0, 1\n slti t2, t0, 3\n"
+            " bnez t2, head\n beqz t2, done\n li t0, 99\ndone: nop\n"
+        )
+        assert machine.regs[parse_register("t0")] == 3
+
+
+class TestImmediateEdges:
+    def test_negative_float_immediate(self):
+        machine = run_asm("lfi f0, -2.5\n")
+        assert machine.regs[32] == -2.5
+
+    def test_large_integer_immediate(self):
+        machine = run_asm("li t0, 123456789\n muli t1, t0, 1000\n")
+        assert machine.regs[parse_register("t1")] == 123456789000
+
+    def test_srai_and_srli_differ_on_negative(self):
+        machine = run_asm("li t0, -16\n srai t1, t0, 2\n srli t2, t0, 2\n")
+        assert machine.regs[parse_register("t1")] == -4
+        assert machine.regs[parse_register("t2")] == (0xFFFFFFF0 >> 2)

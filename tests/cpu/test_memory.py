@@ -1,0 +1,55 @@
+"""Sparse memory and heap break."""
+
+import pytest
+
+from repro.cpu.errors import MachineError
+from repro.cpu.memory import Memory
+from repro.isa.layout import STACK_SEGMENT_FLOOR
+from repro.trace.segments import DEFAULT_SEGMENTS
+
+
+def make_memory(data=None, data_end=0x1100):
+    return Memory(data or {}, data_end, DEFAULT_SEGMENTS)
+
+
+class TestLoadStore:
+    def test_initial_data_visible(self):
+        memory = make_memory({0x1000: 7})
+        assert memory.load(0x1000) == 7
+
+    def test_untouched_reads_zero(self):
+        assert make_memory().load(0x5000) == 0
+
+    def test_store_then_load(self):
+        memory = make_memory()
+        memory.store(0x2000, 1.5)
+        assert memory.load(0x2000) == 1.5
+
+    def test_negative_load_raises(self):
+        with pytest.raises(MachineError):
+            make_memory().load(-1)
+
+    def test_negative_store_raises(self):
+        with pytest.raises(MachineError):
+            make_memory().store(-1, 0)
+
+
+class TestHeap:
+    def test_brk_starts_at_data_end(self):
+        memory = make_memory(data_end=0x1234)
+        assert memory.sbrk(0) == 0x1234
+
+    def test_sbrk_advances(self):
+        memory = make_memory()
+        first = memory.sbrk(10)
+        second = memory.sbrk(5)
+        assert second == first + 10
+
+    def test_negative_sbrk_raises(self):
+        with pytest.raises(MachineError):
+            make_memory().sbrk(-1)
+
+    def test_heap_collision_with_stack_segment_raises(self):
+        memory = make_memory()
+        with pytest.raises(MachineError, match="heap exhausted"):
+            memory.sbrk(STACK_SEGMENT_FLOOR)

@@ -1,0 +1,82 @@
+"""Command-line interface."""
+
+import os
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "xlispx" in out
+
+
+class TestRun:
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "table1", "--cap", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "Instruction Class Operation Times" in out
+
+    def test_run_writes_artifacts(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["run", "table1", "--cap", "1000", "--out", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "table1.txt"))
+        assert os.path.exists(os.path.join(out_dir, "table1.csv"))
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "tableX", "--cap", "1000"])
+
+
+class TestReport:
+    def test_report_generated(self, tmp_path, capsys):
+        out = str(tmp_path / "EXPERIMENTS.md")
+        assert main(["report", "--cap", "2500", "--out", out]) == 0
+        text = open(out).read()
+        assert "# EXPERIMENTS" in text
+        assert "Table 4" in text
+        assert "Figure 8" in text
+        assert "stack-renaming gain" in text
+        # every registered experiment appears
+        assert text.count("## ") >= 13
+
+
+class TestAnalyze:
+    def test_analyze_workload(self, capsys):
+        assert main(["analyze", "xlispx", "--cap", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "available ILP" in out
+        assert "critical path" in out
+
+    def test_analyze_with_switches(self, capsys):
+        code = main(
+            [
+                "analyze", "cc1x", "--cap", "2000", "--window", "64",
+                "--no-rename-data", "--syscalls", "optimistic", "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "level in DDG" in out  # profile plot printed
+
+    def test_analyze_lifetimes(self, capsys):
+        assert main(["analyze", "xlispx", "--cap", "2000", "--lifetimes"]) == 0
+        assert "lifetimes:" in capsys.readouterr().out
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            main(["analyze", "nonesuch"])
+
+    def test_analyze_trace_file(self, tmp_path, capsys):
+        from repro.trace.io import write_trace_file
+        from repro.trace.synthetic import random_trace
+
+        path = str(tmp_path / "t.pgt")
+        write_trace_file(path, random_trace(3, 500))
+        assert main(["analyze", path, "--cap", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "records=300" in out

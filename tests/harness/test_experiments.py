@@ -1,0 +1,131 @@
+"""Experiment definitions produce well-formed output on small caps."""
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.runner import TraceStore
+from repro.workloads.suite import SUITE_NAMES
+
+CAP = 4000
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TraceStore()
+
+
+class TestRegistry:
+    def test_expected_experiments_present(self):
+        assert {"table1", "table2", "table3", "table4", "fig7", "fig8"} <= set(
+            EXPERIMENTS
+        )
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("table99")
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self, store):
+        output = run_experiment("table1", store, CAP)
+        rows = output.tables[0].rows
+        assert all(ours == paper for _, ours, paper in rows)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "table3",
+        "table4",
+        "fig7",
+        "lifetimes",
+        "abl-twopass",
+        "abl-baselines",
+        "abl-disambiguation",
+        "abl-latency",
+        "machines",
+    ],
+)
+def test_per_workload_experiments_cover_suite(store, name):
+    output = run_experiment(name, store, CAP)
+    table = output.tables[0]
+    assert [row[0] for row in table.rows] == list(SUITE_NAMES)
+    assert output.render()
+
+
+class TestTable3:
+    def test_conservative_error_bounds(self, store):
+        output = run_experiment("table3", store, CAP)
+        for row in output.tables[0].rows:
+            error = row[6]
+            assert 0.0 <= error <= 1.0
+
+
+class TestTable4:
+    def test_renaming_columns_monotone(self, store):
+        output = run_experiment("table4", store, CAP)
+        for row in output.tables[0].rows:
+            none, regs, stack, full = row[1:5]
+            assert none <= regs + 1e-9
+            assert regs <= stack + 1e-9
+            assert stack <= full + 1e-9
+
+
+class TestFig7:
+    def test_figures_emitted(self, store):
+        output = run_experiment("fig7", store, CAP)
+        assert len(output.figures) == len(SUITE_NAMES)
+        assert all("#" in fig for fig in output.figures.values())
+
+
+class TestFig8:
+    def test_percent_and_absolute_tables(self, store):
+        output = run_experiment("fig8", store, CAP)
+        percent, absolute = output.tables
+        for row in percent.rows:
+            values = row[1:]
+            assert values == sorted(values)  # monotone in window size
+            assert values[-1] == pytest.approx(100.0)
+        for row in absolute.rows:
+            assert row[1] <= row[-1]
+
+
+class TestAblations:
+    def test_resources_bounded_by_fu_count(self, store):
+        output = run_experiment("abl-resources", store, CAP)
+        for row in output.tables[0].rows:
+            assert row[1] <= 1.0 + 1e-9  # one universal FU -> AP <= 1
+
+    def test_branch_perfect_at_least_as_good(self, store):
+        output = run_experiment("abl-branch", store, CAP)
+        for row in output.tables[0].rows:
+            perfect = row[1]
+            for value in row[2:6]:
+                assert value <= perfect + 1e-9
+
+    def test_twopass_reports_identical_cp(self, store):
+        output = run_experiment("abl-twopass", store, CAP)
+        for row in output.tables[0].rows:
+            assert row[4] is True
+
+    def test_baselines_cp_match(self, store):
+        output = run_experiment("abl-baselines", store, CAP)
+        for row in output.tables[0].rows:
+            assert row[3] is True
+
+    def test_disambiguation_never_gains(self, store):
+        output = run_experiment("abl-disambiguation", store, CAP)
+        for row in output.tables[0].rows:
+            assert row[2] <= row[1] + 1e-9
+
+    def test_machines_dominance(self, store):
+        output = run_experiment("machines", store, CAP)
+        for row in output.tables[0].rows:
+            assert row[1] <= 1.0 + 1e-9  # scalar
+            assert row[4] <= row[5] + 1e-9  # restricted <= ideal
+
+    def test_compiler_ablation_shape(self, store):
+        output = run_experiment("abl-compiler", store, CAP)
+        for row in output.tables[0].rows:
+            assert row[1] == CAP  # both streams fill the cap
+            assert row[4] > 0

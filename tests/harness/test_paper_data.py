@@ -1,0 +1,37 @@
+"""Published-numbers tables: internal consistency and coverage."""
+
+from repro.harness.paper_data import PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4
+from repro.workloads.suite import all_workloads
+
+
+class TestCoverage:
+    def test_every_analog_covered(self):
+        analogs = {w.analog_of for w in all_workloads()}
+        assert set(PAPER_TABLE2) == analogs
+        assert set(PAPER_TABLE3) == analogs
+        assert set(PAPER_TABLE4) == analogs
+
+
+class TestInternalConsistency:
+    def test_table3_conservative_slower(self):
+        for name, row in PAPER_TABLE3.items():
+            _, cons_cp, cons_ap, opt_cp, opt_ap, error = row
+            assert cons_cp >= opt_cp, name
+            assert cons_ap <= opt_ap, name
+            # the published error column is 1 - cons/opt, rounded to 2 dp
+            assert abs((1 - cons_ap / opt_ap) - error) < 0.013, name
+
+    def test_table4_monotone(self):
+        for name, (none, regs, stack, full) in PAPER_TABLE4.items():
+            assert none <= regs <= stack <= full + 1e-9, name
+
+    def test_table4_full_matches_table3_conservative(self):
+        for name in PAPER_TABLE4:
+            full = PAPER_TABLE4[name][3]
+            cons_ap = PAPER_TABLE3[name][2]
+            assert abs(full - cons_ap) < 0.25, name
+
+    def test_table2_analyzed_at_most_total(self):
+        for name, (total, analyzed) in PAPER_TABLE2.items():
+            assert analyzed <= total, name
+            assert analyzed <= 120_000_000, name

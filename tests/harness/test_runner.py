@@ -1,0 +1,43 @@
+"""Trace store caching."""
+
+import os
+
+from repro.harness.runner import TraceStore
+from repro.workloads.suite import load_workload
+
+
+class TestMemoryCache:
+    def test_trace_cached_by_key(self):
+        store = TraceStore()
+        first = store.trace("xlispx", 2000)
+        second = store.trace("xlispx", 2000)
+        assert first is second
+
+    def test_distinct_caps_distinct_traces(self):
+        store = TraceStore()
+        assert len(store.trace("xlispx", 1000)) == 1000
+        assert len(store.trace("xlispx", 3000)) == 3000
+
+    def test_accepts_workload_object(self):
+        store = TraceStore()
+        workload = load_workload("cc1x")
+        assert len(store.trace(workload, 500)) == 500
+
+
+class TestDiskCache:
+    def test_round_trip_through_disk(self, tmp_path):
+        directory = str(tmp_path / "traces")
+        first_store = TraceStore(directory)
+        trace = first_store.trace("xlispx", 1500)
+        assert os.path.exists(os.path.join(directory, "xlispx.1500.pgt"))
+        second_store = TraceStore(directory)
+        loaded = second_store.trace("xlispx", 1500)
+        assert loaded.records == trace.records
+
+
+class TestFullRunLength:
+    def test_length_cached(self):
+        store = TraceStore()
+        first = store.full_run_length("doducx")
+        second = store.full_run_length("doducx")
+        assert first == second > 100_000

@@ -1,0 +1,54 @@
+"""Table rendering."""
+
+from repro.harness.tables import Table
+
+
+def sample():
+    table = Table("Demo", ["Name", "Value", "Rate"])
+    table.add_row("alpha", 12345, 0.5)
+    table.add_row("beta", 7, 123456.789)
+    return table
+
+
+class TestRender:
+    def test_title_and_headers_present(self):
+        text = sample().render()
+        assert "Demo" in text
+        assert "Name" in text and "Rate" in text
+
+    def test_int_thousands_separator(self):
+        assert "12,345" in sample().render()
+
+    def test_large_float_compact(self):
+        assert "123,456.8" in sample().render()
+
+    def test_small_float_format(self):
+        assert "0.50" in sample().render()
+
+    def test_custom_float_format(self):
+        assert "0.5000" in sample().render(floatfmt=".4f")
+
+    def test_notes_appended(self):
+        table = sample()
+        table.notes = "a remark"
+        assert table.render().endswith("a remark")
+
+    def test_bool_rendering(self):
+        table = Table("T", ["ok"])
+        table.add_row(True)
+        table.add_row(False)
+        text = table.render()
+        assert "yes" in text and "no" in text
+
+    def test_nan_rendered_as_dash(self):
+        table = Table("T", ["x"])
+        table.add_row(float("nan"))
+        assert "-" in table.render()
+
+
+class TestCsv:
+    def test_csv_shape(self):
+        csv = sample().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "Name,Value,Rate"
+        assert lines[1].startswith("alpha,12345,")

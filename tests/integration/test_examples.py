@@ -1,0 +1,33 @@
+"""Every example script must run to completion (with small arguments)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = {
+    "quickstart.py": [],
+    "renaming_study.py": ["matrix300x", "40000"],
+    "window_study.py": ["tomcatvx", "30000"],
+    "custom_workload.py": [],
+    "interpreter_paradox.py": [],
+    "critical_path_anatomy.py": ["naskerx", "30000"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script] + EXAMPLES[script])
+    runpy.run_path(f"examples/{script}", run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # it said something substantial
+
+
+def test_quickstart_reports_paper_numbers(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "critical path      = 4 levels" in out  # Figure 1
+    assert "critical path      = 6 levels" in out  # Figure 2
+    assert "[4, 2, 1, 1]" in out
+    assert "[2, 1, 2, 1, 1, 1]" in out

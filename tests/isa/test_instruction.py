@@ -1,0 +1,55 @@
+"""Instruction container and disassembly formatting."""
+
+from repro.isa.instruction import Instruction, format_instruction
+from repro.isa.registers import fp_reg, parse_register
+
+
+def _r(name):
+    return parse_register(name)
+
+
+class TestFormatting:
+    def test_three_register(self):
+        instr = Instruction("add", dst=_r("t0"), src1=_r("t1"), src2=_r("t2"))
+        assert format_instruction(instr) == "add t0, t1, t2"
+
+    def test_immediate(self):
+        instr = Instruction("addi", dst=_r("t0"), src1=_r("sp"), imm=-4)
+        assert format_instruction(instr) == "addi t0, sp, -4"
+
+    def test_load_immediate(self):
+        instr = Instruction("li", dst=_r("t0"), imm=42)
+        assert format_instruction(instr) == "li t0, 42"
+
+    def test_fp_three_register(self):
+        instr = Instruction("fadd", dst=fp_reg(0), src1=fp_reg(1), src2=fp_reg(2))
+        assert format_instruction(instr) == "fadd f0, f1, f2"
+
+    def test_fp_compare_mixed_registers(self):
+        instr = Instruction("flt", dst=_r("t0"), src1=fp_reg(1), src2=fp_reg(2))
+        assert format_instruction(instr) == "flt t0, f1, f2"
+
+    def test_memory_operand(self):
+        instr = Instruction("lw", dst=_r("t0"), src1=_r("sp"), imm=8)
+        assert format_instruction(instr) == "lw t0, 8(sp)"
+
+    def test_branch_two_sources(self):
+        instr = Instruction("beq", src1=_r("t0"), src2=_r("t1"), target=7)
+        assert format_instruction(instr) == "beq t0, t1, 7"
+
+    def test_branch_one_source(self):
+        instr = Instruction("beqz", src1=_r("t0"), target=3)
+        assert format_instruction(instr) == "beqz t0, 3"
+
+    def test_jump(self):
+        assert format_instruction(Instruction("j", target=12)) == "j 12"
+
+    def test_jump_register(self):
+        assert format_instruction(Instruction("jr", src1=_r("ra"))) == "jr ra"
+
+    def test_bare_opcode(self):
+        assert format_instruction(Instruction("syscall")) == "syscall"
+        assert str(Instruction("nop")) == "nop"
+
+    def test_spec_property(self):
+        assert Instruction("mul").spec.name == "mul"

@@ -1,0 +1,48 @@
+"""Storage-location encoding."""
+
+import pytest
+
+from repro.isa.locations import (
+    MEM_BASE,
+    format_location,
+    is_memory_location,
+    is_register_location,
+    memory_address,
+    memory_location,
+)
+
+
+class TestEncoding:
+    def test_mem_base_follows_registers(self):
+        assert MEM_BASE == 64
+
+    def test_memory_location_round_trip(self):
+        for addr in (0, 1, 0x1000, 1 << 20):
+            assert memory_address(memory_location(addr)) == addr
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            memory_location(-1)
+
+    def test_register_location_not_decodable_as_memory(self):
+        with pytest.raises(ValueError):
+            memory_address(10)
+
+
+class TestClassification:
+    def test_registers_classified(self):
+        assert is_register_location(0)
+        assert is_register_location(63)
+        assert not is_register_location(64)
+
+    def test_memory_classified(self):
+        assert is_memory_location(memory_location(0))
+        assert not is_memory_location(63)
+
+
+class TestFormatting:
+    def test_register_formats_as_name(self):
+        assert format_location(29) == "sp"
+
+    def test_memory_formats_with_hex_address(self):
+        assert format_location(memory_location(0x1000)) == "mem[0x1000]"

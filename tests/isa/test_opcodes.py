@@ -1,0 +1,55 @@
+"""Opcode registry consistency."""
+
+import pytest
+
+from repro.isa.opclasses import CONTROL_CLASSES, PLACED_CLASSES, OpClass
+from repro.isa.opcodes import OPCODES, opcode_spec
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        assert opcode_spec("add").opclass is OpClass.IALU
+
+    def test_lookup_unknown_raises_with_name(self):
+        with pytest.raises(KeyError, match="frobnicate"):
+            opcode_spec("frobnicate")
+
+    def test_store_opcodes_marked(self):
+        assert opcode_spec("sw").writes_memory
+        assert opcode_spec("sf").writes_memory
+        assert not opcode_spec("lw").writes_memory
+
+    def test_conditional_branches_marked(self):
+        for name in ("beq", "bne", "blez", "bgtz", "bltz", "bgez", "beqz", "bnez"):
+            assert opcode_spec(name).conditional
+        assert not opcode_spec("j").conditional
+        assert not opcode_spec("jr").conditional
+
+    def test_latency_classes_match_table1_intent(self):
+        assert opcode_spec("mul").opclass is OpClass.IMUL
+        assert opcode_spec("div").opclass is OpClass.IDIV
+        assert opcode_spec("rem").opclass is OpClass.IDIV
+        assert opcode_spec("fadd").opclass is OpClass.FADD
+        assert opcode_spec("fmul").opclass is OpClass.FMUL
+        assert opcode_spec("fdiv").opclass is OpClass.FDIV
+        assert opcode_spec("fsqrt").opclass is OpClass.FDIV
+
+    def test_every_opcode_has_known_format(self):
+        formats = {
+            "rrr", "rri", "ri", "rl", "fff", "ff", "rff", "fr", "rf",
+            "fi", "rm", "fm", "rrb", "rb", "b", "r", "n",
+        }
+        for spec in OPCODES.values():
+            assert spec.fmt in formats, spec.name
+
+
+class TestClassSets:
+    def test_placed_and_control_disjoint(self):
+        assert not PLACED_CLASSES & CONTROL_CLASSES
+
+    def test_nop_neither_placed_nor_control(self):
+        assert OpClass.NOP not in PLACED_CLASSES
+        assert OpClass.NOP not in CONTROL_CLASSES
+
+    def test_syscall_is_placed(self):
+        assert OpClass.SYSCALL in PLACED_CLASSES

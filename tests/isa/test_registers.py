@@ -1,0 +1,110 @@
+"""Register naming and parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REG_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_SP,
+    REG_ZERO,
+    fp_reg,
+    int_reg,
+    is_fp_location,
+    parse_register,
+    register_name,
+)
+
+
+class TestParsing:
+    def test_numeric_int_register(self):
+        assert parse_register("r5") == 5
+
+    def test_numeric_fp_register(self):
+        assert parse_register("f3") == FP_REG_BASE + 3
+
+    def test_alias_sp(self):
+        assert parse_register("sp") == REG_SP == 29
+
+    def test_alias_zero(self):
+        assert parse_register("zero") == REG_ZERO == 0
+
+    def test_alias_temporaries(self):
+        assert parse_register("t0") == 8
+        assert parse_register("t8") == 24
+
+    def test_alias_saved(self):
+        assert parse_register("s0") == 16
+        assert parse_register("s7") == 23
+
+    def test_dollar_prefix_accepted(self):
+        assert parse_register("$sp") == REG_SP
+        assert parse_register("$r4") == 4
+
+    def test_case_insensitive(self):
+        assert parse_register("SP") == REG_SP
+        assert parse_register("R10") == 10
+
+    def test_out_of_range_int_register_rejected(self):
+        with pytest.raises(ValueError):
+            parse_register("r32")
+
+    def test_out_of_range_fp_register_rejected(self):
+        with pytest.raises(ValueError):
+            parse_register("f99")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_register("x7")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_register("")
+
+
+class TestConstruction:
+    def test_int_reg_range(self):
+        assert int_reg(0) == 0
+        assert int_reg(NUM_INT_REGS - 1) == 31
+
+    def test_int_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_reg(NUM_INT_REGS)
+        with pytest.raises(ValueError):
+            int_reg(-1)
+
+    def test_fp_reg_offsets_by_base(self):
+        assert fp_reg(0) == FP_REG_BASE
+        assert fp_reg(NUM_FP_REGS - 1) == FP_REG_BASE + 31
+
+    def test_fp_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            fp_reg(32)
+
+
+class TestNaming:
+    def test_alias_preferred(self):
+        assert register_name(REG_SP) == "sp"
+
+    def test_plain_name_without_alias_preference(self):
+        assert register_name(5, prefer_alias=False) == "r5"
+
+    def test_fp_name(self):
+        assert register_name(fp_reg(7)) == "f7"
+
+    def test_round_trip_all_registers(self):
+        for loc in range(FP_REG_BASE + NUM_FP_REGS):
+            assert parse_register(register_name(loc)) == loc
+
+    def test_non_register_location_rejected(self):
+        with pytest.raises(ValueError):
+            register_name(64)
+
+
+class TestClassification:
+    def test_is_fp_location(self):
+        assert not is_fp_location(0)
+        assert not is_fp_location(31)
+        assert is_fp_location(32)
+        assert is_fp_location(63)
+        assert not is_fp_location(64)

@@ -1,0 +1,117 @@
+"""Code-generation details visible in the emitted assembly."""
+
+import re
+
+from repro.lang.compiler import compile_to_assembly
+
+
+class TestAddressing:
+    def test_power_of_two_row_width_uses_shift(self):
+        asm = compile_to_assembly(
+            "int g[4][8]; void main() { int i; g[i][0] = 1; }"
+        )
+        assert "slli" in asm
+        assert "muli" not in asm
+
+    def test_odd_row_width_uses_multiply(self):
+        asm = compile_to_assembly(
+            "int g[4][7]; void main() { int i; g[i][0] = 1; }"
+        )
+        assert "muli" in asm
+
+    def test_global_scalar_uses_absolute_addressing(self):
+        asm = compile_to_assembly("int x; void main() { x = 3; }")
+        assert re.search(r"sw t\d, g_x\b", asm)
+
+    def test_global_array_indexed_through_label(self):
+        asm = compile_to_assembly("int a[8]; void main() { int i; a[i] = 1; }")
+        # the index register (here the variable's home) bases off the label
+        assert re.search(r"sw t\d, g_a\([st]\d\)", asm)
+
+    def test_local_array_indexed_off_sp(self):
+        asm = compile_to_assembly("void main() { int a[8]; int i; a[i] = 1; }")
+        assert re.search(r"add t\d, sp, ", asm)
+
+
+class TestFrames:
+    def test_leaf_function_in_static_mode_saves_nothing(self):
+        asm = compile_to_assembly(
+            "int f(int x) { int y = x + 1; return y; } void main() { f(1); }",
+            static_frames=True,
+        )
+        body = asm.split("fn_f:")[1].split("fn_main:")[0]
+        assert "sw s" not in body  # no callee-saved traffic
+        assert "addi sp" not in body  # sp untouched
+
+    def test_dynamic_mode_adjusts_sp(self):
+        asm = compile_to_assembly(
+            "int f(int x) { int y = x + 1; return y; } void main() { f(1); }",
+            static_frames=False,
+        )
+        body = asm.split("fn_f:")[1].split("fn_main:")[0]
+        assert "addi sp, sp, -" in body
+
+    def test_static_mode_argument_block_stores(self):
+        asm = compile_to_assembly(
+            "int f(int x, int y) { return x + y; } void main() { f(1, 2); }",
+            static_frames=True,
+        )
+        main_body = asm.split("fn_main:")[1]
+        # caller writes both arguments to the callee's fixed block
+        assert len(re.findall(r"sw t\d, -\d+\(sp\)", main_body)) >= 2
+        assert "move a0" not in main_body
+
+    def test_dynamic_mode_register_arguments(self):
+        asm = compile_to_assembly(
+            "int f(int x, int y) { return x + y; } void main() { f(1, 2); }",
+            static_frames=False,
+        )
+        main_body = asm.split("fn_main:")[1]
+        assert "move a0," in main_body
+        assert "move a1," in main_body
+
+    def test_ra_saved_only_when_calling(self):
+        asm = compile_to_assembly(
+            "int leaf() { return 1; } void main() { leaf(); }"
+        )
+        leaf_body = asm.split("fn_leaf:")[1].split("fn_main:")[0]
+        main_body = asm.split("fn_main:")[1]
+        assert "sw ra" not in leaf_body
+        assert "sw ra" in main_body
+
+    def test_builtins_do_not_force_ra_save(self):
+        asm = compile_to_assembly("void main() { print_int(1); }")
+        assert "sw ra" not in asm
+
+
+class TestStatementMarkers:
+    def test_every_statement_tagged(self):
+        asm = compile_to_assembly(
+            """
+            void main() {
+                int a = 1;
+                int b = 2;
+                if (a < b) { print_int(a); }
+                while (a < b) { a = a + 1; }
+            }
+            """
+        )
+        markers = re.findall(r"\.stmt (\d+)", asm)
+        assert len(set(markers)) >= 5
+        # ids are globally unique and increasing
+        assert [int(m) for m in markers] == sorted(int(m) for m in markers)
+
+
+class TestDataSegment:
+    def test_float_globals_default_to_zero(self):
+        asm = compile_to_assembly("float f; void main() { print_float(f); }")
+        assert "g_f: .float 0.0" in asm
+
+    def test_negative_initializer(self):
+        asm = compile_to_assembly("int x = -5; void main() {}")
+        assert "g_x: .word -5" in asm
+
+    def test_partial_array_init_padded(self):
+        asm = compile_to_assembly("int a[10] = {1, 2, 3}; void main() {}")
+        assert ".word 1, 2, 3" in asm
+        assert ".space 7" in asm

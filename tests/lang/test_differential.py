@@ -1,0 +1,163 @@
+"""Differential testing: random MiniC expressions vs a Python oracle.
+
+Hypothesis generates random integer expression trees; each is compiled,
+assembled, executed on the simulator, and compared against direct Python
+evaluation with C semantics (truncating division). Any disagreement
+anywhere in the lexer/parser/sema/codegen/assembler/machine stack fails.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm.assembler import assemble
+from repro.cpu.machine import Machine
+from repro.lang.compiler import compile_source
+
+#: Variable environment baked into every generated program.
+ENV = {"a": 7, "b": -3, "c": 12}
+
+
+def c_div(x, y):
+    q = abs(x) // abs(y)
+    return q if (x < 0) == (y < 0) else -q
+
+
+def c_rem(x, y):
+    return x - c_div(x, y) * y
+
+
+class Node:
+    """(text, value) pair for a generated expression."""
+
+    def __init__(self, text, value):
+        self.text = text
+        self.value = value
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    """Random integer expression with its oracle value."""
+    if depth >= 4 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            literal = draw(st.integers(-50, 50))
+            if literal < 0:
+                return Node(f"(0 - {-literal})", literal)
+            return Node(str(literal), literal)
+        name = draw(st.sampled_from(sorted(ENV)))
+        return Node(name, ENV[name])
+    left = draw(int_exprs(depth=depth + 1))
+    right = draw(int_exprs(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%", "<", "<=", "==", "!="]))
+    if op == "+":
+        return Node(f"({left.text} + {right.text})", left.value + right.value)
+    if op == "-":
+        return Node(f"({left.text} - {right.text})", left.value - right.value)
+    if op == "*":
+        return Node(f"({left.text} * {right.text})", left.value * right.value)
+    if op == "&":
+        return Node(f"({left.text} & {right.text})", left.value & right.value)
+    if op == "|":
+        return Node(f"({left.text} | {right.text})", left.value | right.value)
+    if op == "^":
+        return Node(f"({left.text} ^ {right.text})", left.value ^ right.value)
+    if op == "<<":
+        shift = draw(st.integers(0, 8))
+        return Node(f"({left.text} << {shift})", left.value << shift)
+    if op == ">>":
+        shift = draw(st.integers(0, 8))
+        return Node(f"({left.text} >> {shift})", left.value >> shift)
+    if op == "/":
+        divisor = draw(st.integers(1, 9))
+        sign = draw(st.sampled_from([1, -1]))
+        if sign < 0:
+            return Node(f"({left.text} / (0 - {divisor}))", c_div(left.value, -divisor))
+        return Node(f"({left.text} / {divisor})", c_div(left.value, divisor))
+    if op == "%":
+        divisor = draw(st.integers(1, 9))
+        return Node(f"({left.text} % {divisor})", c_rem(left.value, divisor))
+    if op == "<":
+        return Node(f"({left.text} < {right.text})", int(left.value < right.value))
+    if op == "<=":
+        return Node(f"({left.text} <= {right.text})", int(left.value <= right.value))
+    if op == "==":
+        return Node(f"({left.text} == {right.text})", int(left.value == right.value))
+    return Node(f"({left.text} != {right.text})", int(left.value != right.value))
+
+
+def run_program(expr_text):
+    source = (
+        "void main() { "
+        + " ".join(f"int {name} = {value};" for name, value in sorted(ENV.items()))
+        + f" print_int({expr_text}); }}"
+    )
+    machine = Machine(compile_source(source))
+    result = machine.run(max_instructions=100_000)
+    assert result.reason == "exit"
+    return result.output[0]
+
+
+@settings(max_examples=120, deadline=None)
+@given(expr=int_exprs())
+def test_integer_expressions_match_oracle(expr):
+    assert run_program(expr.text) == expr.value
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=int_exprs())
+def test_optimizer_preserves_expression_values(expr):
+    """The optimizer folds most of these trees away entirely; the value
+    must survive regardless."""
+    source = (
+        "void main() { "
+        + " ".join(f"int {name} = {value};" for name, value in sorted(ENV.items()))
+        + f" print_int({expr.text}); }}"
+    )
+    machine = Machine(compile_source(source, optimize=True))
+    result = machine.run(max_instructions=100_000)
+    assert result.output[0] == expr.value
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=4, max_size=4
+    ),
+    ops=st.lists(st.sampled_from(["+", "-", "*"]), min_size=3, max_size=3),
+)
+def test_float_chains_match_oracle(values, ops):
+    """Left-associated float chains agree with Python float arithmetic."""
+    text = f"{values[0]!r}"
+    oracle = values[0]
+    for value, op in zip(values[1:], ops):
+        literal = repr(abs(value))
+        term = literal if value >= 0 else f"(0.0 - {literal})"
+        text = f"({text} {op} {term})"
+        if op == "+":
+            oracle = oracle + (abs(value) if value >= 0 else -abs(value))
+        elif op == "-":
+            oracle = oracle - (abs(value) if value >= 0 else -abs(value))
+        else:
+            oracle = oracle * (abs(value) if value >= 0 else -abs(value))
+    source = f"void main() {{ print_float({text}); }}"
+    machine = Machine(compile_source(source))
+    result = machine.run(max_instructions=100_000)
+    assert result.output[0] == pytest.approx(oracle, rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=int_exprs())
+def test_static_and_dynamic_frames_agree(expr):
+    """Both frame disciplines compute the same value through a call."""
+    source = (
+        "int eval(int a, int b, int c) { return "
+        + expr.text
+        + "; } void main() { "
+        + f"print_int(eval({ENV['a']}, {ENV['b']}, {ENV['c']})); }}"
+    )
+    outputs = []
+    for static in (False, True):
+        machine = Machine(compile_source(source, static_frames=static))
+        result = machine.run(max_instructions=100_000)
+        outputs.append(result.output[0])
+    assert outputs[0] == outputs[1] == expr.value

@@ -1,0 +1,329 @@
+"""Compile-and-run functional tests: MiniC -> asm -> simulator."""
+
+import pytest
+
+from repro.lang.compiler import compile_source, compile_to_assembly
+from repro.lang.errors import CompileError
+
+
+def outputs(compile_and_run, source, **kwargs):
+    result, _ = compile_and_run(source, **kwargs)
+    assert result.reason == "exit", result
+    return result.output
+
+
+class TestArithmetic:
+    def test_integer_expression(self, compile_and_run):
+        src = "void main() { print_int((3 + 4) * 2 - 10 / 3); }"
+        assert outputs(compile_and_run, src) == [11]
+
+    def test_c_division_semantics(self, compile_and_run):
+        src = "void main() { print_int(-7 / 2); print_int(-7 % 2); }"
+        assert outputs(compile_and_run, src) == [-3, -1]
+
+    def test_bitwise_and_shift(self, compile_and_run):
+        src = "void main() { print_int((12 & 10) | (1 << 4)); print_int(~0); }"
+        assert outputs(compile_and_run, src) == [24, -1]
+
+    def test_float_expression(self, compile_and_run):
+        src = "void main() { print_float(1.5 * 2.0 + 0.25); }"
+        assert outputs(compile_and_run, src) == [3.25]
+
+    def test_mixed_promotion(self, compile_and_run):
+        src = "void main() { print_float(3 / 2 + 0.5); print_float(3 / 2.0); }"
+        assert outputs(compile_and_run, src) == [1.5, 1.5]
+
+    def test_casts(self, compile_and_run):
+        src = "void main() { print_int(int(2.9)); print_int(int(-2.9)); print_float(float(7)); }"
+        assert outputs(compile_and_run, src) == [2, -2, 7.0]
+
+    def test_sqrt_builtin(self, compile_and_run):
+        src = "void main() { print_float(sqrt(16.0)); }"
+        assert outputs(compile_and_run, src) == [4.0]
+
+    def test_comparisons(self, compile_and_run):
+        src = """
+        void main() {
+            print_int(3 < 4); print_int(4 <= 3); print_int(2.5 > 2.0);
+            print_int(1 == 1); print_int(1 != 1); print_int(2.0 >= 3.0);
+        }
+        """
+        assert outputs(compile_and_run, src) == [1, 0, 1, 1, 0, 0]
+
+    def test_unary_operators(self, compile_and_run):
+        src = "void main() { print_int(-(3)); print_int(!0); print_int(!7); print_float(-(1.5)); }"
+        assert outputs(compile_and_run, src) == [-3, 1, 0, -1.5]
+
+
+class TestControlFlow:
+    def test_if_else_chains(self, compile_and_run):
+        src = """
+        void main() {
+            int x = 5;
+            if (x > 10) { print_int(1); }
+            else { if (x > 3) { print_int(2); } else { print_int(3); } }
+        }
+        """
+        assert outputs(compile_and_run, src) == [2]
+
+    def test_while_loop(self, compile_and_run):
+        src = """
+        void main() {
+            int i = 0; int s = 0;
+            while (i < 10) { s = s + i; i = i + 1; }
+            print_int(s);
+        }
+        """
+        assert outputs(compile_and_run, src) == [45]
+
+    def test_for_loop_with_break_continue(self, compile_and_run):
+        src = """
+        void main() {
+            int i; int s = 0;
+            for (i = 0; i < 100; i = i + 1) {
+                if (i == 7) { break; }
+                if (i % 2 == 0) { continue; }
+                s = s + i;
+            }
+            print_int(s); print_int(i);
+        }
+        """
+        assert outputs(compile_and_run, src) == [1 + 3 + 5, 7]
+
+    def test_nested_loops(self, compile_and_run):
+        src = """
+        void main() {
+            int i; int j; int c = 0;
+            for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j <= i; j = j + 1) { c = c + 1; }
+            }
+            print_int(c);
+        }
+        """
+        assert outputs(compile_and_run, src) == [10]
+
+    def test_short_circuit_and(self, compile_and_run):
+        # (x != 0 && 10 / x > 1) must not divide when x == 0.
+        src = """
+        int x = 0;
+        void main() {
+            if (x != 0 && 10 / x > 1) { print_int(1); } else { print_int(0); }
+            x = 4;
+            if (x != 0 && 10 / x > 1) { print_int(1); } else { print_int(0); }
+        }
+        """
+        assert outputs(compile_and_run, src) == [0, 1]
+
+    def test_short_circuit_or(self, compile_and_run):
+        src = """
+        int x = 0;
+        void main() {
+            if (x == 0 || 10 / x > 1) { print_int(1); }
+            print_int((0 || 0) + (1 || 0) * 10);
+        }
+        """
+        assert outputs(compile_and_run, src) == [1, 10]
+
+    def test_logical_result_normalized(self, compile_and_run):
+        src = "void main() { print_int(5 && 9); print_int(0 || 7); }"
+        assert outputs(compile_and_run, src) == [1, 1]
+
+
+class TestVariablesAndArrays:
+    def test_globals_with_initializers(self, compile_and_run):
+        src = """
+        int a = 3; float b = 1.5; int t[4] = {9, 8};
+        void main() { print_int(a); print_float(b); print_int(t[0] + t[1] + t[2]); }
+        """
+        assert outputs(compile_and_run, src) == [3, 1.5, 17]
+
+    def test_global_2d_array(self, compile_and_run):
+        src = """
+        int g[3][4];
+        void main() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) { g[i][j] = i * 10 + j; }
+            }
+            print_int(g[2][3]); print_int(g[0][1]);
+        }
+        """
+        assert outputs(compile_and_run, src) == [23, 1]
+
+    def test_local_arrays_on_stack(self, compile_and_run):
+        src = """
+        void main() {
+            float acc[16];
+            int i;
+            for (i = 0; i < 16; i = i + 1) { acc[i] = float(i) * 0.5; }
+            print_float(acc[15] + acc[1]);
+        }
+        """
+        assert outputs(compile_and_run, src) == [8.0]
+
+    def test_local_2d_array(self, compile_and_run):
+        src = """
+        void main() {
+            int m[4][4];
+            int i;
+            for (i = 0; i < 4; i = i + 1) { m[i][i] = i + 1; }
+            print_int(m[3][3] * m[2][2]);
+        }
+        """
+        assert outputs(compile_and_run, src) == [12]
+
+    def test_many_locals_overflow_to_frame(self, compile_and_run):
+        # more than 8 int locals: the later ones live in frame slots
+        names = [f"v{i}" for i in range(12)]
+        decls = " ".join(f"int {n} = {i};" for i, n in enumerate(names))
+        total = " + ".join(names)
+        src = f"void main() {{ {decls} print_int({total}); }}"
+        assert outputs(compile_and_run, src) == [sum(range(12))]
+
+
+class TestFunctions:
+    def test_call_with_int_and_float_args(self, compile_and_run):
+        src = """
+        float scale(int n, float f) { return float(n) * f; }
+        void main() { print_float(scale(4, 2.5)); }
+        """
+        assert outputs(compile_and_run, src) == [10.0]
+
+    def test_nested_calls(self, compile_and_run):
+        src = """
+        int inc(int x) { return x + 1; }
+        void main() { print_int(inc(inc(inc(0)))); }
+        """
+        assert outputs(compile_and_run, src) == [3]
+
+    def test_recursion_dynamic_frames(self, compile_and_run):
+        src = """
+        int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        void main() { print_int(fact(6)); }
+        """
+        assert outputs(compile_and_run, src) == [720]
+
+    def test_mutual_recursion(self, compile_and_run):
+        src = """
+        int is_odd(int n);
+        """
+        # MiniC has no prototypes; use a single recursive helper instead.
+        src = """
+        int parity(int n, int bit) {
+            if (n == 0) { return bit; }
+            return parity(n - 1, 1 - bit);
+        }
+        void main() { print_int(parity(9, 0)); }
+        """
+        assert outputs(compile_and_run, src) == [1]
+
+    def test_locals_preserved_across_calls(self, compile_and_run):
+        src = """
+        int clobber(int x) { int a = 9; int b = 8; return a + b + x; }
+        void main() {
+            int keep = 42; int other = 7;
+            print_int(clobber(1));
+            print_int(keep + other);
+        }
+        """
+        assert outputs(compile_and_run, src) == [18, 49]
+
+    def test_four_int_args_max(self, compile_and_run):
+        src = """
+        int sum4(int a, int b, int c, int d) { return a + b + c + d; }
+        void main() { print_int(sum4(1, 2, 3, 4)); }
+        """
+        assert outputs(compile_and_run, src) == [10]
+
+    def test_main_return_code(self, compile_and_run):
+        result, _ = compile_and_run("int main() { return 17; }")
+        assert result.exit_code == 17
+
+    def test_int_main_returning_value(self, compile_and_run):
+        result, _ = compile_and_run("void main() { }")
+        assert result.exit_code == 0
+
+
+class TestExpressionsUnderPressure:
+    def test_deep_int_expression_spills(self, compile_and_run):
+        # balanced tree deeper than the 10-register temp pool
+        leaf = ["(1 + %d)" % i for i in range(16)]
+        while len(leaf) > 1:
+            leaf = [f"({a} * 1 + {b})" for a, b in zip(leaf[::2], leaf[1::2])]
+        src = f"void main() {{ print_int({leaf[0]}); }}"
+        assert outputs(compile_and_run, src) == [sum(1 + i for i in range(16))]
+
+    def test_deep_float_expression_spills(self, compile_and_run):
+        leaf = [f"({i}.0 + 0.5)" for i in range(16)]
+        while len(leaf) > 1:
+            leaf = [f"({a} + {b})" for a, b in zip(leaf[::2], leaf[1::2])]
+        src = f"void main() {{ print_float({leaf[0]}); }}"
+        assert outputs(compile_and_run, src) == [sum(i + 0.5 for i in range(16))]
+
+    def test_call_inside_deep_expression(self, compile_and_run):
+        src = """
+        int f(int x) { return x * 2; }
+        void main() {
+            print_int(1 + f(2) + (3 + f(4) * (5 + f(6))));
+        }
+        """
+        assert outputs(compile_and_run, src) == [1 + 4 + (3 + 8 * (5 + 12))]
+
+
+class TestStaticFrames:
+    SOURCES = [
+        """
+        float dot(int i) { float s = 0.0; int k;
+            for (k = 0; k < 4; k = k + 1) { s = s + float(i + k); } return s; }
+        void main() { print_float(dot(1) + dot(2)); }
+        """,
+        """
+        int g[4];
+        int work(int a, int b) { int t = a * b; return t + 1; }
+        void main() {
+            int i;
+            for (i = 0; i < 4; i = i + 1) { g[i] = work(i, i + 1); }
+            print_int(g[0] + g[1] + g[2] + g[3]);
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SOURCES)))
+    def test_static_and_dynamic_agree(self, compile_and_run, index):
+        source = self.SOURCES[index]
+        dynamic, _ = compile_and_run(source, static_frames=False)
+        static, _ = compile_and_run(source, static_frames=True)
+        assert dynamic.output == static.output
+
+    def test_static_frames_never_touch_sp(self):
+        program = compile_source(self.SOURCES[0], static_frames=True)
+        for instr in program.instructions:
+            assert not (instr.op in ("addi", "move", "li") and instr.dst == 29), instr
+
+    def test_workload_outputs_match_across_frame_modes(self, compile_and_run):
+        from repro.workloads.suite import load_workload
+
+        source = load_workload("doducx").source()
+        dynamic, _ = compile_and_run(source, static_frames=False, max_instructions=400_000)
+        static, _ = compile_and_run(source, static_frames=True, max_instructions=400_000)
+        assert dynamic.output == static.output
+
+
+class TestDiagnostics:
+    def test_too_many_int_arguments(self):
+        src = """
+        int f(int a, int b, int c, int d) { return a; }
+        void main() { f(1, 2, 3, 4); }
+        """
+        compile_to_assembly(src)  # exactly four is fine
+        src5 = """
+        int f(int a, int b, int c, int d, int e) { return a; }
+        void main() { f(1, 2, 3, 4, 5); }
+        """
+        with pytest.raises(CompileError, match="max 4"):
+            compile_to_assembly(src5)
+
+    def test_stmt_markers_emitted(self):
+        asm = compile_to_assembly("void main() { int x = 1; print_int(x); }")
+        assert ".stmt 0" in asm
+        assert ".stmt 1" in asm

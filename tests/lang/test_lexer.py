@@ -1,0 +1,79 @@
+"""MiniC lexer."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds("int foo while whiled")
+        assert tokens == [
+            ("kw", "int"),
+            ("ident", "foo"),
+            ("kw", "while"),
+            ("ident", "whiled"),
+        ]
+
+    def test_integer_literals(self):
+        tokens = tokenize("42 0x1F 0")
+        assert [t.value for t in tokens[:-1]] == [42, 31, 0]
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 0.25 2e3 1.5e-2 .5")
+        assert [t.value for t in tokens[:-1]] == [1.5, 0.25, 2000.0, 0.015, 0.5]
+
+    def test_integer_not_mistaken_for_float(self):
+        token = tokenize("7")[0]
+        assert token.kind == "int"
+
+    def test_multi_char_operators_maximal_munch(self):
+        tokens = kinds("a<=b<<c&&d")
+        ops = [text for kind, text in tokens if kind == "op"]
+        assert ops == ["<=", "<<", "&&"]
+
+    def test_all_single_operators(self):
+        for op in "+-*/%<>=!~&|^(){}[];,":
+            assert tokenize(op)[0].text == op
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "eof"
+
+    def test_underscore_identifiers(self):
+        assert tokenize("_foo_1")[0].text == "_foo_1"
+
+
+class TestCommentsAndLines:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_block_comment_advances_line_count(self):
+        tokens = tokenize("/* 1\n2\n3 */ x")
+        assert tokens[0].line == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_carries_line(self):
+        with pytest.raises(CompileError, match="line 2"):
+            tokenize("ok\n@")

@@ -1,0 +1,150 @@
+"""Optimizer passes: folding correctness and semantics preservation."""
+
+import re
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.lang.compiler import compile_source, compile_to_assembly
+from repro.workloads.suite import SUITE_NAMES, load_workload
+
+
+def run(source, optimize, max_instructions=300_000):
+    machine = Machine(compile_source(source, optimize=optimize))
+    result = machine.run(max_instructions=max_instructions)
+    return result
+
+
+def both(source):
+    plain = run(source, optimize=False)
+    optimized = run(source, optimize=True)
+    assert plain.reason == optimized.reason == "exit"
+    return plain, optimized
+
+
+class TestFolding:
+    def test_constant_arithmetic_folds(self):
+        asm = compile_to_assembly(
+            "void main() { print_int(2 * 3 + 10 / 4 - (7 % 3)); }", optimize=True
+        )
+        assert "li t0, 7" in asm  # 6 + 2 - 1
+        assert "mul" not in asm and "div" not in asm
+
+    def test_c_division_semantics_in_folder(self):
+        plain, optimized = both("void main() { print_int(0 - 7 / 2); }")
+        assert plain.output == optimized.output == [-3]
+
+    def test_float_folding(self):
+        asm = compile_to_assembly(
+            "void main() { print_float(1.5 * 2.0 + 0.25); }", optimize=True
+        )
+        assert re.search(r"lfi f\d+, 3.25", asm)
+        assert "fmul" not in asm
+
+    def test_comparison_folding(self):
+        asm = compile_to_assembly("void main() { print_int(3 < 4); }", optimize=True)
+        assert "slt" not in asm
+
+    def test_cast_folding(self):
+        asm = compile_to_assembly(
+            "void main() { print_int(int(2.9)); print_float(float(3)); }",
+            optimize=True,
+        )
+        assert "cvtfi" not in asm and "cvtif" not in asm
+
+    def test_identity_elimination(self):
+        asm = compile_to_assembly(
+            "void main() { int x = 5; print_int(x * 1 + 0); }", optimize=True
+        )
+        assert "mul" not in asm
+        # x + 0 collapsed: the print argument is x's home directly
+        assert len(re.findall(r"add\b", asm)) == 0
+
+    def test_multiply_by_zero_pure_operand(self):
+        asm = compile_to_assembly(
+            "void main() { int x = 5; print_int(x * 0); }", optimize=True
+        )
+        assert re.search(r"li t\d, 0\b", asm)
+
+    def test_multiply_by_zero_call_preserved(self):
+        source = """
+        int g = 0;
+        int bump() { g = g + 1; return g; }
+        void main() { print_int(bump() * 0); print_int(g); }
+        """
+        plain, optimized = both(source)
+        assert plain.output == optimized.output == [0, 1]  # bump still ran
+
+    def test_dead_if_eliminated(self):
+        asm = compile_to_assembly(
+            "void main() { if (0) { print_int(1); } else { print_int(2); } }",
+            optimize=True,
+        )
+        assert asm.count("syscall") == 2  # one print + exit
+        assert "beqz" not in asm
+
+    def test_while_zero_removed(self):
+        asm = compile_to_assembly(
+            "void main() { while (0) { print_int(1); } print_int(2); }",
+            optimize=True,
+        )
+        assert "Lwhile" not in asm
+
+    def test_pure_expression_statement_dropped(self):
+        asm = compile_to_assembly(
+            "void main() { int x = 1; x + 2; print_int(x); }", optimize=True
+        )
+        # only the initialization and the print remain
+        assert asm.count("li t") <= 3
+
+
+class TestStrengthReduction:
+    def test_int_multiply_by_power_of_two(self):
+        asm = compile_to_assembly(
+            "void main() { int x = 5; print_int(x * 8); }", optimize=True
+        )
+        assert "sll" in asm
+        assert "mul" not in asm
+
+    def test_float_multiply_untouched(self):
+        asm = compile_to_assembly(
+            "void main() { float x = 5.0; print_float(x * 8.0); }", optimize=True
+        )
+        assert "fmul" in asm
+
+    def test_non_power_of_two_untouched(self):
+        asm = compile_to_assembly(
+            "void main() { int x = 5; print_int(x * 6); }", optimize=True
+        )
+        assert "mul" in asm
+
+    def test_values_preserved(self):
+        plain, optimized = both(
+            "void main() { int x = 0 - 13; print_int(x * 16); print_int(4 * x); }"
+        )
+        assert plain.output == optimized.output == [-208, -52]
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_workload_outputs_identical(self, name):
+        workload = load_workload(name)
+        plain, _ = workload.run(max_instructions=260_000, trace=False)
+        optimized, _ = workload.run(
+            max_instructions=260_000, trace=False, optimize=True
+        )
+        # the optimized run gets further per instruction; compare the
+        # common prefix of outputs
+        common = min(len(plain.output), len(optimized.output))
+        assert common > 0
+        for got, want in zip(plain.output[:common], optimized.output[:common]):
+            assert got == pytest.approx(want, rel=1e-12)
+
+    def test_static_code_size_changes_sanely(self):
+        # unrolling grows static code (bounded by the 4x factor); nothing
+        # explodes and nothing vanishes
+        for name in ("matrix300x", "cc1x", "naskerx"):
+            workload = load_workload(name)
+            plain = len(workload.program(optimize=False).instructions)
+            optimized = len(workload.program(optimize=True).instructions)
+            assert 0.5 * plain <= optimized <= 5 * plain, name

@@ -1,0 +1,187 @@
+"""MiniC parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+from repro.lang.typesys import ArrayType
+
+
+def parse_main(body):
+    program = parse("void main() { " + body + " }")
+    return program.functions[0].body.statements
+
+
+def parse_expr(expr_text):
+    statements = parse_main(f"{expr_text};")
+    assert isinstance(statements[0], ast.ExprStmt)
+    return statements[0].expr
+
+
+class TestTopLevel:
+    def test_global_scalar(self):
+        program = parse("int x = 5; void main() {}")
+        decl = program.globals[0]
+        assert decl.name == "x"
+        assert decl.scalar_init == 5
+
+    def test_global_negative_init(self):
+        assert parse("int x = -3; void main() {}").globals[0].scalar_init == -3
+
+    def test_global_array_with_init(self):
+        program = parse("float t[4] = {1.0, 2.0}; void main() {}")
+        decl = program.globals[0]
+        assert decl.var_type == ArrayType("float", (4,))
+        assert decl.array_init == [1.0, 2.0]
+
+    def test_global_2d_array(self):
+        program = parse("int g[3][5]; void main() {}")
+        assert program.globals[0].var_type.dims == (3, 5)
+
+    def test_function_with_params(self):
+        program = parse("int add(int a, float b) { return a; } void main() {}")
+        func = program.functions[0]
+        assert [(p.name, p.var_type) for p in func.params] == [
+            ("a", "int"),
+            ("b", "float"),
+        ]
+        assert func.return_type == "int"
+
+    def test_too_many_dims_rejected(self):
+        with pytest.raises(CompileError, match="2-D"):
+            parse("void main() { int x; x = a[1][2][3]; }")
+
+    def test_non_constant_dimension_rejected(self):
+        with pytest.raises(CompileError, match="integer literals"):
+            parse("int n = 3; int a[n]; void main() {}")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(CompileError, match="void"):
+            parse("void x; void main() {}")
+
+
+class TestStatements:
+    def test_local_decl_with_init(self):
+        statements = parse_main("int i = 3;")
+        decl = statements[0]
+        assert isinstance(decl, ast.LocalDecl)
+        assert decl.init.value == 3
+
+    def test_local_array(self):
+        statements = parse_main("float buf[8];")
+        assert statements[0].var_type == ArrayType("float", (8,))
+
+    def test_local_array_init_rejected(self):
+        with pytest.raises(CompileError, match="cannot be initialized"):
+            parse_main("int a[2] = 5;")
+
+    def test_assignment(self):
+        statements = parse_main("x = 1;")
+        assert isinstance(statements[0], ast.Assign)
+        assert isinstance(statements[0].target, ast.VarRef)
+
+    def test_element_assignment(self):
+        statements = parse_main("a[i][j] = 0;")
+        assert isinstance(statements[0].target, ast.Index)
+        assert len(statements[0].target.indices) == 2
+
+    def test_assignment_to_expression_rejected(self):
+        with pytest.raises(CompileError, match="assignment target"):
+            parse_main("(x + 1) = 2;")
+
+    def test_if_else(self):
+        statements = parse_main("if (x) y = 1; else { y = 2; }")
+        node = statements[0]
+        assert isinstance(node, ast.If)
+        assert node.else_body is not None
+
+    def test_dangling_else_binds_inner(self):
+        statements = parse_main("if (a) if (b) x = 1; else x = 2;")
+        outer = statements[0]
+        assert outer.else_body is None
+        inner = outer.then_body.statements[0]
+        assert inner.else_body is not None
+
+    def test_while(self):
+        node = parse_main("while (i < 3) { i = i + 1; }")[0]
+        assert isinstance(node, ast.While)
+
+    def test_for_full_header(self):
+        node = parse_main("for (i = 0; i < 9; i = i + 1) {}")[0]
+        assert isinstance(node, ast.For)
+        assert node.init is not None and node.cond is not None and node.step is not None
+
+    def test_for_empty_header(self):
+        node = parse_main("for (;;) { break; }")[0]
+        assert node.init is None and node.cond is None and node.step is None
+
+    def test_for_with_declaration_init(self):
+        node = parse_main("for (int i = 0; i < 3; i = i + 1) {}")[0]
+        assert isinstance(node.init, ast.LocalDecl)
+
+    def test_break_continue_return(self):
+        statements = parse_main("while (1) { break; continue; } return;")
+        loop = statements[0]
+        assert isinstance(loop.body.statements[0], ast.Break)
+        assert isinstance(loop.body.statements[1], ast.Continue)
+        assert isinstance(statements[1], ast.Return)
+
+    def test_empty_statement(self):
+        assert parse_main(";")  # no crash
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError, match="unterminated block"):
+            parse("void main() { int x;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_compare_over_logic(self):
+        expr = parse_expr("a < b && c > d")
+        assert isinstance(expr, ast.LogicalOp)
+        assert expr.left.op == "<"
+
+    def test_or_lower_than_and(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_bitwise_precedence_chain(self):
+        expr = parse_expr("a | b ^ c & d")
+        assert expr.op == "|"
+        assert expr.right.op == "^"
+        assert expr.right.right.op == "&"
+
+    def test_shift_precedence(self):
+        expr = parse_expr("a + b << 2")
+        assert expr.op == "<<"
+
+    def test_unary_minus_binds_tight(self):
+        expr = parse_expr("-a * b")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.UnOp)
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("f(1, x + 2)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_cast_expression(self):
+        expr = parse_expr("float(3)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type == "float"
+
+    def test_index_expression(self):
+        expr = parse_expr("grid[i + 1][j]")
+        assert isinstance(expr, ast.Index)
+        assert expr.indices[0].op == "+"

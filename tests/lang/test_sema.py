@@ -1,0 +1,213 @@
+"""MiniC semantic analysis."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze_ast
+
+
+def check(source):
+    return analyze_ast(parse(source))
+
+
+def check_main(body, prelude=""):
+    return check(prelude + " void main() { " + body + " }")
+
+
+class TestProgramStructure:
+    def test_main_required(self):
+        with pytest.raises(CompileError, match="no main"):
+            check("int f() { return 1; }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(CompileError, match="no parameters"):
+            check("void main(int x) {}")
+
+    def test_duplicate_global(self):
+        with pytest.raises(CompileError, match="duplicate global"):
+            check("int x; int x; void main() {}")
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError, match="duplicate function"):
+            check("int f() { return 1; } int f() { return 2; } void main() {}")
+
+    def test_global_shadowing_builtin_rejected(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            check("int sqrt; void main() {}")
+
+    def test_function_colliding_with_global(self):
+        with pytest.raises(CompileError, match="collides"):
+            check("int f; int f() { return 1; } void main() {}")
+
+    def test_too_many_initializers(self):
+        with pytest.raises(CompileError, match="too many initializers"):
+            check("int a[2] = {1, 2, 3}; void main() {}")
+
+
+class TestScoping:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            check_main("x = 1;")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            check_main("g();")
+
+    def test_inner_scope_sees_outer(self):
+        check_main("int x; { x = 1; }")
+
+    def test_block_scope_expires(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            check_main("{ int x; } x = 1;")
+
+    def test_duplicate_in_same_scope(self):
+        with pytest.raises(CompileError, match="duplicate declaration"):
+            check_main("int x; int x;")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check_main("int x; { int x; x = 2; }")
+
+    def test_global_visible_in_function(self):
+        check("int g; void main() { g = 1; }")
+
+    def test_for_init_scoped_to_loop(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            check_main("for (int i = 0; i < 3; i = i + 1) {} i = 5;")
+
+
+class TestTypes:
+    def test_arithmetic_promotes_to_float(self):
+        program = check_main("float f; f = 1 + 2.0;")
+        assign = program.functions[0].body.statements[1]
+        assert assign.value.type == "float"
+
+    def test_int_assignment_from_float_gets_cast(self):
+        program = check_main("int i; i = 2.5;")
+        assign = program.functions[0].body.statements[1]
+        assert isinstance(assign.value, ast.Cast)
+        assert assign.value.type == "int"
+
+    def test_comparison_yields_int(self):
+        program = check_main("int b; b = 1.5 < 2.5;")
+        assign = program.functions[0].body.statements[1]
+        assert assign.value.type == "int"
+
+    def test_mod_requires_int(self):
+        with pytest.raises(CompileError, match="must be int"):
+            check_main("float f; f = 1.0 % 2.0;")
+
+    def test_shift_requires_int(self):
+        with pytest.raises(CompileError, match="must be int"):
+            check_main("int i; i = 1 << 2.0;")
+
+    def test_logical_requires_int(self):
+        with pytest.raises(CompileError, match="must be int"):
+            check_main("int i; i = 1.0 && 1;")
+
+    def test_condition_must_be_int(self):
+        with pytest.raises(CompileError, match="must be int"):
+            check_main("if (1.5) {}")
+
+    def test_array_index_must_be_int(self):
+        with pytest.raises(CompileError, match="array index"):
+            check_main("int a[4]; a[1.5] = 0;", prelude="")
+
+    def test_index_count_must_match(self):
+        with pytest.raises(CompileError, match="needs 2 indices"):
+            check_main("int g[2][2]; g[0] = 1;")
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(CompileError, match="is not an array"):
+            check_main("int x; x[0] = 1;")
+
+    def test_bare_array_reference_rejected(self):
+        with pytest.raises(CompileError, match="must be indexed"):
+            check_main("int a[4]; int x; x = a;")
+
+    def test_whole_array_assignment_rejected(self):
+        with pytest.raises(CompileError, match="as a whole"):
+            check_main("int a[4]; a = 1;")
+
+    def test_unary_not_requires_int(self):
+        with pytest.raises(CompileError, match="must be int"):
+            check_main("int i; i = !1.5;")
+
+    def test_unary_minus_preserves_type(self):
+        program = check_main("float f; f = -2.5;")
+        assign = program.functions[0].body.statements[1]
+        assert assign.value.type == "float"
+
+
+class TestCallsAndReturns:
+    def test_arity_checked(self):
+        with pytest.raises(CompileError, match="expects 2"):
+            check("int add(int a, int b) { return a + b; } void main() { add(1); }")
+
+    def test_argument_conversion_inserted(self):
+        program = check(
+            "float f(float x) { return x; } void main() { float y; y = f(3); }"
+        )
+        call = program.functions[1].body.statements[1].value
+        assert isinstance(call.args[0], ast.Cast)
+
+    def test_builtin_signature_checked(self):
+        with pytest.raises(CompileError, match="expects 1"):
+            check_main("print_int();")
+
+    def test_builtin_marks_call(self):
+        program = check_main("print_int(3);")
+        call = program.functions[0].body.statements[0].expr
+        assert call.builtin is True
+
+    def test_void_return_with_value_rejected(self):
+        with pytest.raises(CompileError, match="returns void"):
+            check("void f() { return 3; } void main() {}")
+
+    def test_missing_return_value_rejected(self):
+        with pytest.raises(CompileError, match="must return"):
+            check("int f() { return; } void main() {}")
+
+    def test_return_value_converted(self):
+        program = check("float f() { return 2; } void main() {}")
+        ret = program.functions[0].body.statements[0]
+        assert isinstance(ret.value, ast.Cast)
+
+    def test_void_call_as_value_rejected_later(self):
+        # sema types the call as void; using it in arithmetic fails
+        with pytest.raises(CompileError):
+            check("void f() {} void main() { int x; x = f() + 1; }")
+
+
+class TestLoops:
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break outside"):
+            check_main("break;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError, match="continue outside"):
+            check_main("continue;")
+
+    def test_break_inside_nested_if_in_loop_ok(self):
+        check_main("while (1) { if (1) { break; } }")
+
+
+class TestAnnotations:
+    def test_function_symbols_collected(self):
+        program = check("int f(int a) { int b; float c; return a; } void main() {}")
+        func = program.functions[0]
+        assert [s.name for s in func.symbols] == ["a", "b", "c"]
+        assert func.symbols[0].kind == "param"
+
+    def test_makes_calls_flags(self):
+        program = check(
+            "int f() { return 1; } void main() { int x; x = f(); }"
+        )
+        by_name = {f.name: f for f in program.functions}
+        assert by_name["main"].makes_calls
+        assert not by_name["f"].makes_calls
+
+    def test_builtins_do_not_set_makes_calls(self):
+        program = check_main("print_int(1);")
+        assert not program.functions[0].makes_calls

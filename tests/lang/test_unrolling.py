@@ -1,0 +1,138 @@
+"""Loop unrolling pass."""
+
+import re
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.lang.compiler import compile_source, compile_to_assembly
+
+
+def run(source, optimize):
+    machine = Machine(compile_source(source, optimize=optimize))
+    result = machine.run(max_instructions=500_000)
+    assert result.reason == "exit"
+    return result.output
+
+
+def branch_count(asm, body_marker):
+    """Conditional branches in the emitted text (loop back-edges)."""
+    return len(re.findall(r"\b(beqz|bnez|beq|bne|blez|bgtz)\b", asm))
+
+
+class TestRewrite:
+    SOURCE = """
+    int out[64];
+    void main() {
+        int i;
+        for (i = 0; i < 64; i = i + 1) { out[i] = i * 3; }
+        print_int(out[63]);
+    }
+    """
+
+    def test_semantics_preserved(self):
+        assert run(self.SOURCE, False) == run(self.SOURCE, True) == [189]
+
+    def test_back_edges_reduced(self):
+        plain = compile_to_assembly(self.SOURCE, optimize=False)
+        unrolled = compile_to_assembly(self.SOURCE, optimize=True)
+        # four body copies per trip: the unrolled text is longer but the
+        # loop executes a quarter of the iterations
+        assert len(unrolled) > len(plain)
+
+    def test_dynamic_branch_count_drops(self):
+        from repro.trace.stats import compute_stats
+
+        plain_machine = Machine(compile_source(self.SOURCE, optimize=False))
+        plain_machine.run(max_instructions=500_000)
+        unrolled_machine = Machine(compile_source(self.SOURCE, optimize=True))
+        unrolled_machine.run(max_instructions=500_000)
+        plain_branches = compute_stats(plain_machine.trace).conditional_branches
+        unrolled_branches = compute_stats(unrolled_machine.trace).conditional_branches
+        assert unrolled_branches < 0.5 * plain_branches
+
+    def test_counter_recurrence_weakened(self):
+        """The paper's stated effect: unrolling decreases the loop-counter
+        recurrences, increasing the parallelism."""
+        from repro.core.analyzer import analyze
+        from repro.core.config import AnalysisConfig
+        from repro.core.latency import LatencyTable
+
+        unit = AnalysisConfig(latency=LatencyTable.unit())
+        plain_machine = Machine(compile_source(self.SOURCE, optimize=False))
+        plain_machine.run(max_instructions=500_000)
+        unrolled_machine = Machine(compile_source(self.SOURCE, optimize=True))
+        unrolled_machine.run(max_instructions=500_000)
+        plain = analyze(plain_machine.trace, unit)
+        unrolled = analyze(unrolled_machine.trace, unit)
+        assert unrolled.critical_path_length < plain.critical_path_length
+
+
+class TestGuards:
+    @pytest.mark.parametrize(
+        "loop,expected",
+        [
+            # non-literal bound: untouched
+            ("int n = 7; for (i = 0; i < n; i = i + 1) { s = s + i; }", 21),
+            # trip count not divisible by 2 or 4: untouched
+            ("for (i = 0; i < 7; i = i + 1) { s = s + i; }", 21),
+            # break in the body: untouched
+            ("for (i = 0; i < 8; i = i + 1) { if (i == 5) { break; } s = s + i; }", 10),
+            # body writes the induction variable: untouched
+            ("for (i = 0; i < 8; i = i + 2) { s = s + i; i = i + 0; }", 12),
+            # downward step shape (i = i + -?) is not canonical: untouched
+            ("for (i = 8; i < 16; i = i + 3) { s = s + i; }", 8 + 11 + 14),
+        ],
+    )
+    def test_non_qualifying_loops_preserved(self, loop, expected):
+        source = f"void main() {{ int i; int s = 0; {loop} print_int(s); }}"
+        assert run(source, True) == [expected]
+
+    def test_qualifying_loop_with_declaration_init(self):
+        source = """
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 16; i = i + 1) { s = s + i; }
+            print_int(s);
+        }
+        """
+        assert run(source, True) == [120]
+
+    def test_nested_inner_unrolls_outer_preserved(self):
+        source = """
+        int grid[8][8];
+        void main() {
+            int i; int j; int s = 0;
+            for (i = 0; i < 8; i = i + 1) {
+                for (j = 0; j < 8; j = j + 1) { grid[i][j] = i * 8 + j; }
+            }
+            for (i = 0; i < 8; i = i + 1) { s = s + grid[i][i]; }
+            print_int(s);
+        }
+        """
+        assert run(source, False) == run(source, True)
+
+    def test_local_declarations_in_body_stay_scoped(self):
+        source = """
+        void main() {
+            int i; int s = 0;
+            for (i = 0; i < 8; i = i + 1) {
+                int t = i * 2;
+                s = s + t;
+            }
+            print_int(s);
+        }
+        """
+        assert run(source, True) == [56]
+
+    def test_calls_in_body_run_correct_count(self):
+        source = """
+        int g = 0;
+        void bump() { g = g + 1; }
+        void main() {
+            int i;
+            for (i = 0; i < 12; i = i + 1) { bump(); }
+            print_int(g);
+        }
+        """
+        assert run(source, True) == [12]

@@ -1,0 +1,45 @@
+"""Trace buffer container."""
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.record import make_record
+from repro.trace.segments import SegmentMap
+
+
+def records(n):
+    return [make_record(0, (1,), (2,), aux=i) for i in range(n)]
+
+
+class TestBuffer:
+    def test_empty(self):
+        buffer = TraceBuffer()
+        assert len(buffer) == 0
+        assert list(buffer) == []
+
+    def test_append_and_iterate(self):
+        buffer = TraceBuffer()
+        for record in records(3):
+            buffer.append(record)
+        assert len(buffer) == 3
+        assert [r[4] for r in buffer] == [0, 1, 2]
+
+    def test_extend(self):
+        buffer = TraceBuffer()
+        buffer.extend(records(4))
+        assert len(buffer) == 4
+
+    def test_indexing(self):
+        buffer = TraceBuffer(records(5))
+        assert buffer[2][4] == 2
+        assert len(buffer[1:3]) == 2
+
+    def test_head_copies_prefix_and_segments(self):
+        segments = SegmentMap(stack_floor=123)
+        buffer = TraceBuffer(records(10), segments)
+        head = buffer.head(4)
+        assert len(head) == 4
+        assert head.segments == segments
+        assert head[0] == buffer[0]
+
+    def test_head_larger_than_buffer(self):
+        buffer = TraceBuffer(records(2))
+        assert len(buffer.head(10)) == 2

@@ -1,0 +1,40 @@
+"""Trace dump utility."""
+
+from repro.trace.dump import dump_text, main
+from repro.trace.io import write_trace_file
+from repro.trace.synthetic import random_trace
+
+
+def make_file(tmp_path, seed=1, length=100):
+    path = str(tmp_path / "t.pgt")
+    write_trace_file(path, random_trace(seed, length))
+    return path
+
+
+class TestDumpText:
+    def test_header_and_stats(self, tmp_path):
+        path = make_file(tmp_path)
+        text = dump_text(path)
+        assert "records    : 100" in text
+        assert "stack floor" in text
+        assert "mix        :" in text
+
+    def test_record_window(self, tmp_path):
+        path = make_file(tmp_path)
+        text = dump_text(path, start=5, count=3)
+        assert "records 5..7" in text
+        assert text.count("\n  ") == 3
+
+    def test_window_clamped_to_length(self, tmp_path):
+        path = make_file(tmp_path, length=10)
+        text = dump_text(path, start=8, count=10)
+        assert "       9  " in text
+
+
+class TestCli:
+    def test_main_prints(self, tmp_path, capsys):
+        path = make_file(tmp_path)
+        assert main([path, "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "records    : 100" in out
+        assert "records 0..1" in out

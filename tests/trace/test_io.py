@@ -1,0 +1,79 @@
+"""Binary trace file format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.io import (
+    TraceFormatError,
+    iter_trace,
+    read_header,
+    read_trace_file,
+    write_trace,
+    write_trace_file,
+)
+from repro.trace.record import make_record
+from repro.trace.segments import SegmentMap
+from repro.trace.synthetic import random_trace
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        trace = random_trace(seed=1, length=200)
+        path = tmp_path / "t.pgt"
+        write_trace_file(path, trace)
+        loaded = read_trace_file(path)
+        assert loaded.records == trace.records
+        assert loaded.segments == trace.segments
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.pgt"
+        write_trace_file(path, TraceBuffer())
+        assert read_trace_file(path).records == []
+
+    def test_custom_segments_preserved(self, tmp_path):
+        segments = SegmentMap(data_base=16, stack_floor=512, stack_top=1024)
+        trace = TraceBuffer([make_record(0, (1,), (2,))], segments)
+        path = tmp_path / "seg.pgt"
+        write_trace_file(path, trace)
+        assert read_trace_file(path).segments == segments
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), length=st.integers(0, 150))
+    def test_round_trip_property(self, seed, length, tmp_path_factory):
+        trace = random_trace(seed=seed, length=length)
+        stream = io.BytesIO()
+        write_trace(stream, trace.records, trace.segments, len(trace))
+        stream.seek(0)
+        segments, count = read_header(stream)
+        records = list(iter_trace(stream))
+        assert count == length
+        assert records == trace.records
+        assert segments == trace.segments
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        stream = io.BytesIO(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            read_header(stream)
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            read_header(io.BytesIO(b"PG"))
+
+    def test_truncated_body(self, tmp_path):
+        trace = random_trace(seed=2, length=50)
+        path = tmp_path / "trunc.pgt"
+        write_trace_file(path, trace)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(TraceFormatError):
+            read_trace_file(path)
+
+    def test_count_mismatch_on_write(self):
+        trace = random_trace(seed=3, length=5)
+        with pytest.raises(TraceFormatError, match="count mismatch"):
+            write_trace(io.BytesIO(), trace.records, trace.segments, 7)

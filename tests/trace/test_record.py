@@ -1,0 +1,58 @@
+"""Trace record construction and rendering."""
+
+import pytest
+
+from repro.isa.opclasses import OpClass
+from repro.trace.record import (
+    FLAG_CONDITIONAL,
+    FLAG_TAKEN,
+    format_record,
+    is_control,
+    make_record,
+)
+
+
+class TestMakeRecord:
+    def test_fields_in_order(self):
+        record = make_record(OpClass.IALU, srcs=(1, 2), dests=(3,), flags=0, aux=5)
+        assert record == (int(OpClass.IALU), (1, 2), (3,), 0, 5)
+
+    def test_defaults(self):
+        record = make_record(OpClass.NOP)
+        assert record == (int(OpClass.NOP), (), (), 0, -1)
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(99)
+
+    def test_negative_location_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(OpClass.IALU, srcs=(-1,))
+
+
+class TestClassification:
+    def test_branch_is_control(self):
+        assert is_control(make_record(OpClass.BRANCH))
+        assert is_control(make_record(OpClass.JUMP))
+
+    def test_alu_is_not_control(self):
+        assert not is_control(make_record(OpClass.IALU))
+
+
+class TestFormatting:
+    def test_basic(self):
+        text = format_record(make_record(OpClass.IALU, (8, 9), (10,)))
+        assert "IALU" in text
+        assert "t0" in text and "t2" in text
+
+    def test_taken_branch_annotated(self):
+        record = make_record(
+            OpClass.BRANCH, (8,), flags=FLAG_CONDITIONAL | FLAG_TAKEN, aux=3
+        )
+        text = format_record(record)
+        assert "taken" in text
+        assert "@3" in text
+
+    def test_not_taken_branch_annotated(self):
+        record = make_record(OpClass.BRANCH, (8,), flags=FLAG_CONDITIONAL, aux=0)
+        assert "not-taken" in format_record(record)

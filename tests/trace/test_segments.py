@@ -1,0 +1,38 @@
+"""Segment classification."""
+
+from repro.isa.layout import STACK_SEGMENT_FLOOR, STACK_TOP_WORDS
+from repro.isa.locations import MEM_BASE, memory_location
+from repro.trace.segments import (
+    DEFAULT_SEGMENTS,
+    SEG_DATA,
+    SEG_REGISTER,
+    SEG_STACK,
+    SegmentMap,
+)
+
+
+class TestClassification:
+    def test_registers(self):
+        assert DEFAULT_SEGMENTS.classify(0) == SEG_REGISTER
+        assert DEFAULT_SEGMENTS.classify(63) == SEG_REGISTER
+
+    def test_data_segment(self):
+        assert DEFAULT_SEGMENTS.classify(memory_location(0x1000)) == SEG_DATA
+
+    def test_heap_counts_as_data(self):
+        heap_addr = STACK_SEGMENT_FLOOR - 1
+        assert DEFAULT_SEGMENTS.classify(memory_location(heap_addr)) == SEG_DATA
+
+    def test_stack_segment(self):
+        assert DEFAULT_SEGMENTS.classify(memory_location(STACK_SEGMENT_FLOOR)) == SEG_STACK
+        assert (
+            DEFAULT_SEGMENTS.classify(memory_location(STACK_TOP_WORDS - 1)) == SEG_STACK
+        )
+
+    def test_boundary_location_precomputed(self):
+        assert DEFAULT_SEGMENTS.stack_floor_location == MEM_BASE + STACK_SEGMENT_FLOOR
+
+    def test_custom_floor(self):
+        segments = SegmentMap(stack_floor=100)
+        assert segments.classify(memory_location(99)) == SEG_DATA
+        assert segments.classify(memory_location(100)) == SEG_STACK

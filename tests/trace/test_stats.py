@@ -1,0 +1,56 @@
+"""Trace statistics."""
+
+from repro.isa.opclasses import OpClass
+from repro.trace.stats import compute_stats
+from repro.trace.synthetic import TraceBuilder
+
+
+def build_mixed():
+    builder = TraceBuilder()
+    builder.ialu(1, 2)
+    builder.fop(OpClass.FMUL, 33, 34, 35)
+    builder.load(1, 0x1000)
+    builder.store(1, 0x1001)
+    builder.branch(1, taken=True, pc=0)
+    builder.branch(1, taken=False, pc=1)
+    builder.jump(pc=2)
+    builder.syscall()
+    return builder.build()
+
+
+class TestStats:
+    def test_total_counts_everything(self):
+        assert compute_stats(build_mixed()).total == 8
+
+    def test_placed_excludes_control(self):
+        stats = compute_stats(build_mixed())
+        assert stats.placed == 5  # ialu, fmul, load, store, syscall
+
+    def test_branch_counters(self):
+        stats = compute_stats(build_mixed())
+        assert stats.branches == 3  # 2 conditional + 1 jump
+        assert stats.conditional_branches == 2
+        assert stats.taken_branches == 1
+
+    def test_memory_counters(self):
+        stats = compute_stats(build_mixed())
+        assert stats.loads == 1
+        assert stats.stores == 1
+
+    def test_fp_counter(self):
+        assert compute_stats(build_mixed()).fp_operations == 1
+
+    def test_syscall_interval(self):
+        stats = compute_stats(build_mixed())
+        assert stats.syscalls == 1
+        assert stats.syscall_interval == 8.0
+
+    def test_syscall_interval_infinite_without_syscalls(self):
+        builder = TraceBuilder()
+        builder.ialu(1)
+        assert compute_stats(builder.build()).syscall_interval == float("inf")
+
+    def test_by_class_names(self):
+        stats = compute_stats(build_mixed())
+        assert stats.by_class["IALU"] == 1
+        assert stats.by_class["BRANCH"] == 2

@@ -1,0 +1,83 @@
+"""Micro-kernels: analytically derivable critical paths through the whole
+assemble-simulate-analyze stack."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.workloads.micro import MICRO_KERNELS, N, micro_program, micro_trace
+
+
+def unit(**kwargs):
+    return AnalysisConfig(latency=LatencyTable.unit(), **kwargs)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(MICRO_KERNELS))
+    def test_assembles_and_runs_to_exit(self, name):
+        from repro.cpu.machine import Machine
+
+        machine = Machine(micro_program(name))
+        result = machine.run(max_instructions=200_000)
+        assert result.reason == "exit"
+
+    def test_fib_value(self):
+        from repro.cpu.machine import Machine
+
+        machine = Machine(micro_program("fib"))
+        result = machine.run(max_instructions=200_000)
+        assert result.output == [144]  # fib(12)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown micro kernel"):
+            micro_program("bogosort")
+
+
+class TestAnalyticCriticalPaths:
+    def test_chase_is_a_serial_load_chain(self):
+        """Each chase load depends on the previous: the chase phase alone
+        contributes ~N levels even with unit latencies and full renaming."""
+        trace = micro_trace("chase")
+        result = analyze(trace, unit())
+        assert result.critical_path_length >= N
+        # load latency scales the chain linearly
+        slow_loads = AnalysisConfig(
+            latency=LatencyTable.unit().with_overrides(LOAD=4)
+        )
+        slowed = analyze(trace, slow_loads)
+        assert slowed.critical_path_length >= 4 * N
+
+    def test_reduction_bound_by_fadd_chain(self):
+        trace = micro_trace("reduction")
+        result = analyze(trace, AnalysisConfig())  # Table 1: FADD = 6
+        assert result.critical_path_length >= 6 * N
+
+    def test_parallel8_counter_bound(self):
+        """Eight independent chains advance together with the counter: every
+        recurrence is one addi per iteration, so CP ~ N and the eight
+        accumulators ride along in parallel."""
+        trace = micro_trace("parallel8")
+        result = analyze(trace, unit())
+        assert result.critical_path_length == pytest.approx(N, abs=12)
+        assert result.available_parallelism > 4.0
+
+    def test_saxpy_much_more_parallel_than_chase(self):
+        saxpy = analyze(micro_trace("saxpy"), unit())
+        chase = analyze(micro_trace("chase"), unit())
+        assert saxpy.available_parallelism > 2 * chase.available_parallelism
+
+    def test_fib_sp_chain_bounds_parallelism(self):
+        """Dynamic frames thread a *true* sp-dependency chain through every
+        call: even with full renaming the recursion's tree parallelism is
+        buried (the cc1/xlisp mechanism), and no storage renaming can help
+        because the chain is RAW, not WAR."""
+        trace = micro_trace("fib")
+        renamed = analyze(trace, unit())
+        kept = analyze(trace, unit(rename_stack=False))
+        # fib(12) makes fib(13)-1 = 232 recursive (frame-adjusting) calls;
+        # each contributes two sp-chain levels (addi -3 / addi +3), so the
+        # critical path sits just above 2 * 232 regardless of renaming.
+        assert 450 <= renamed.critical_path_length <= 530
+        assert kept.critical_path_length == renamed.critical_path_length
+        assert renamed.available_parallelism < 10.0
