@@ -1,0 +1,87 @@
+"""Experiment engine scaling: jobs x {cold, warm} result cache.
+
+Times the issue's reference grid (3 workloads x 4 configs) through
+:class:`~repro.engine.api.ExperimentEngine` at ``--jobs`` 1, 2, and 4,
+each with a cold result cache and again fully warm. The parallel rows
+only show a speedup on a multi-core machine — the grid is embarrassingly
+parallel across jobs, but each job is a serial trace scan — so no
+speedup shape is asserted here. The warm-cache shape *is* asserted:
+serving a grid from the content-addressed cache must cost a small
+fraction of recomputing it.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import OPTIMISTIC, AnalysisConfig
+from repro.engine import AnalysisJob, ExperimentEngine
+from repro.engine.serialize import result_to_bytes
+
+from conftest import run_once
+
+WORKLOADS = ("xlispx", "cc1x", "eqntottx")
+CONFIGS = (
+    AnalysisConfig(),
+    AnalysisConfig(syscall_policy=OPTIMISTIC),
+    AnalysisConfig.no_renaming(),
+    AnalysisConfig(window_size=64, collect_lifetimes=True),
+)
+
+#: cold/warm seconds per jobs level, printed once at teardown
+_timings = {}
+
+
+def _grid(cap):
+    return [
+        AnalysisJob(workload, cap, config)
+        for workload in WORKLOADS
+        for config in CONFIGS
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_reference(store, cap):
+    """Byte-canonical serial results every engine run must reproduce."""
+    results = ExperimentEngine(store=store, jobs=1).analyze_grid(_grid(cap))
+    return [result_to_bytes(result) for result in results]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_scaling():
+    yield
+    if not _timings:
+        return
+    print()
+    print("engine grid scaling (12 jobs):")
+    print(f"  {'jobs':>4s} {'cold s':>10s} {'warm s':>10s} {'warm/cold':>10s}")
+    for njobs in sorted(_timings):
+        cold, warm = _timings[njobs]
+        print(f"  {njobs:4d} {cold:10.2f} {warm:10.2f} {warm / cold:10.1%}")
+
+
+@pytest.mark.parametrize("njobs", [1, 2, 4])
+def test_grid_cold_vs_warm(benchmark, njobs, store, cap, check_shapes,
+                           serial_reference, tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp(f"results-j{njobs}"))
+    jobs = _grid(cap)
+
+    def cold_run():
+        engine = ExperimentEngine(store=store, jobs=njobs, result_cache=cache_dir)
+        return engine.analyze_grid(jobs)
+
+    results = run_once(benchmark, cold_run)
+    cold_seconds = benchmark.stats.stats.total
+    assert [result_to_bytes(result) for result in results] == serial_reference
+
+    warm_engine = ExperimentEngine(store=store, jobs=njobs, result_cache=cache_dir)
+    started = time.perf_counter()
+    warm_results = warm_engine.analyze_grid(jobs)
+    warm_seconds = time.perf_counter() - started
+    assert warm_engine.telemetry.cache_hits == len(jobs)
+    assert [result_to_bytes(result) for result in warm_results] == serial_reference
+
+    _timings[njobs] = (cold_seconds, warm_seconds)
+    if check_shapes:
+        # acceptance shape: a warm grid costs <10% of the cold one
+        assert warm_seconds < 0.10 * cold_seconds

@@ -10,6 +10,8 @@ Every published experiment is a point in this configuration space:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -117,6 +119,57 @@ class AnalysisConfig:
     def derive(self, **changes) -> "AnalysisConfig":
         """A modified copy (thin wrapper over ``dataclasses.replace``)."""
         return replace(self, **changes)
+
+    # -- stable identity ---------------------------------------------------
+
+    def canonical(self) -> dict:
+        """JSON-safe canonical form covering every switch that can change an
+        analysis result. Cache keys and cross-process job specs are built
+        from this, so two configs with equal canonical forms are
+        interchangeable and the encoding must stay deterministic."""
+        return {
+            "syscall_policy": self.syscall_policy,
+            "rename_registers": self.rename_registers,
+            "rename_stack": self.rename_stack,
+            "rename_data": self.rename_data,
+            "window_size": self.window_size,
+            "latency": self.latency.canonical(),
+            "resources": None if self.resources is None else self.resources.canonical(),
+            "branch_predictor": self.branch_predictor,
+            "memory_disambiguation": self.memory_disambiguation,
+            "collect_lifetimes": self.collect_lifetimes,
+            "collect_profile": self.collect_profile,
+        }
+
+    @classmethod
+    def from_canonical(cls, data: dict) -> "AnalysisConfig":
+        """Inverse of :meth:`canonical` (result-cache and worker-side
+        reconstruction)."""
+        from repro.core.latency import LatencyTable
+        from repro.core.resources import ResourceModel
+
+        resources = data.get("resources")
+        return cls(
+            syscall_policy=data["syscall_policy"],
+            rename_registers=data["rename_registers"],
+            rename_stack=data["rename_stack"],
+            rename_data=data["rename_data"],
+            window_size=data["window_size"],
+            latency=LatencyTable.from_canonical(data["latency"]),
+            resources=None if resources is None else ResourceModel.from_canonical(resources),
+            branch_predictor=data["branch_predictor"],
+            memory_disambiguation=data["memory_disambiguation"],
+            collect_lifetimes=data["collect_lifetimes"],
+            collect_profile=data["collect_profile"],
+        )
+
+    def digest(self) -> str:
+        """Stable hex digest of the configuration, identical across
+        processes and interpreter runs (cache-key component)."""
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
 
     def describe(self) -> str:
         """Short human-readable tag, e.g. for table headers."""

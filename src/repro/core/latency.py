@@ -76,3 +76,13 @@ class LatencyTable:
     def as_list(self) -> List[int]:
         """Latencies as a list indexed by int class value (hot-loop form)."""
         return [self.steps[OpClass(i)] for i in range(len(OpClass))]
+
+    def canonical(self) -> Dict[str, int]:
+        """JSON-safe canonical form: class name -> steps, keyed by name so
+        the encoding is stable even if OpClass int values are reordered."""
+        return {opclass.name: self.steps[opclass] for opclass in OpClass}
+
+    @classmethod
+    def from_canonical(cls, data: Dict[str, int]) -> "LatencyTable":
+        """Inverse of :meth:`canonical`."""
+        return cls({OpClass[name]: int(steps) for name, steps in data.items()})

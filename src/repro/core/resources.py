@@ -49,6 +49,27 @@ class ResourceModel:
         """True when the model imposes no limits at all."""
         return self.universal is None and not self.per_class
 
+    def canonical(self) -> dict:
+        """JSON-safe canonical form (class names, sorted by the dict
+        encoder), for config digests and the on-disk result cache."""
+        return {
+            "universal": self.universal,
+            "per_class": {
+                opclass.name: count for opclass, count in self.per_class.items()
+            },
+        }
+
+    @classmethod
+    def from_canonical(cls, data: dict) -> "ResourceModel":
+        """Inverse of :meth:`canonical`."""
+        return cls(
+            universal=data.get("universal"),
+            per_class={
+                OpClass[name]: int(count)
+                for name, count in data.get("per_class", {}).items()
+            },
+        )
+
 
 class _SlotTable:
     """Per-level slot counts with union-find skip over full levels."""

@@ -1,0 +1,50 @@
+"""Parallel experiment engine: multiprocess analysis jobs over a shared
+trace cache.
+
+The paper's workflow is "capture once, analyze under many configurations";
+this package makes the *analyze many* half run as wide as the hardware
+allows. See DESIGN.md ("Parallel experiment engine") for the architecture
+and the reasoning behind jobs — not trace shards — as the unit of
+parallelism.
+
+Public surface:
+
+- :class:`ExperimentEngine` — facade the harness uses (``analyze_grid``);
+- :class:`AnalysisJob` — one (workload, cap, config) unit of work;
+- :class:`ResultCache` — content-addressed on-disk result cache;
+- :class:`JobOutcome` / :class:`JobFailedError` — per-job terminal states;
+- progress events and telemetry in :mod:`repro.engine.progress`.
+"""
+
+from repro.engine.api import ExperimentEngine
+from repro.engine.cache import ResultCache, cache_key
+from repro.engine.jobs import AnalysisJob
+from repro.engine.pool import (
+    EngineError,
+    JobFailedError,
+    JobOutcome,
+    execute_jobs,
+    execute_serial,
+)
+from repro.engine.progress import (
+    EngineTelemetry,
+    JobEvent,
+    console_listener,
+    fanout,
+)
+
+__all__ = [
+    "AnalysisJob",
+    "EngineError",
+    "EngineTelemetry",
+    "ExperimentEngine",
+    "JobEvent",
+    "JobFailedError",
+    "JobOutcome",
+    "ResultCache",
+    "cache_key",
+    "console_listener",
+    "execute_jobs",
+    "execute_serial",
+    "fanout",
+]

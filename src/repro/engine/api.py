@@ -1,0 +1,129 @@
+"""The engine facade the harness programs against.
+
+An :class:`ExperimentEngine` bundles a trace store, a parallelism degree, an
+optional result cache, and progress reporting behind two calls:
+
+- :meth:`ExperimentEngine.analyze` — one analysis, in-process (cache-aware);
+- :meth:`ExperimentEngine.analyze_grid` — a batch of jobs, fanned out to the
+  worker pool when ``jobs > 1``, with results in submission order.
+
+Experiment code builds grids of :class:`~repro.engine.jobs.AnalysisJob` and
+never touches multiprocessing, trace files, or cache keys directly; swapping
+``--jobs 1`` for ``--jobs 8`` (or adding ``--result-cache``) changes no
+experiment code, only this object's construction.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import List, Optional, Sequence, Union
+
+from repro.core.config import AnalysisConfig
+from repro.core.results import AnalysisResult
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import AnalysisJob
+from repro.engine.pool import JobFailedError, JobOutcome, execute_jobs
+from repro.engine.progress import EngineTelemetry, ProgressListener, fanout
+
+
+class ExperimentEngine:
+    """Job-based executor for experiment grids.
+
+    Attributes:
+        store: the trace store (created in-memory when not given).
+        jobs: worker process count; 1 = in-process serial execution.
+        result_cache: optional :class:`ResultCache` (or a directory path).
+        timeout: optional per-job wall-clock limit in seconds.
+        telemetry: cumulative :class:`EngineTelemetry` across grids.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        jobs: int = 1,
+        result_cache: Optional[Union[ResultCache, str]] = None,
+        timeout: Optional[float] = None,
+        progress: Optional[ProgressListener] = None,
+        start_method: Optional[str] = None,
+    ):
+        if store is None:
+            from repro.harness.runner import TraceStore
+
+            store = TraceStore()
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if isinstance(result_cache, str):
+            result_cache = ResultCache(result_cache)
+        self.store = store
+        self.jobs = jobs
+        self.result_cache = result_cache
+        self.timeout = timeout
+        self.telemetry = EngineTelemetry()
+        self._progress = progress
+        self._start_method = start_method
+
+    # -- trace passthrough -------------------------------------------------
+
+    def trace(self, workload, cap: int, optimize: bool = False):
+        """The input trace for a job (delegates to the store)."""
+        return self.store.trace(workload, cap, optimize=optimize)
+
+    # -- execution ---------------------------------------------------------
+
+    def _ensure_disk_store(self) -> None:
+        """Parallel runs need a disk-shared trace cache; attach a scratch
+        directory when the store was created memory-only."""
+        if self.jobs > 1 and not self.store.directory:
+            self.store.persist_to(tempfile.mkdtemp(prefix="paragraph-traces-"))
+
+    def run_grid(self, grid: Sequence[AnalysisJob]) -> List[JobOutcome]:
+        """Execute a grid; returns per-job outcomes (never raises on job
+        failure — inspect :attr:`JobOutcome.error`)."""
+        self._ensure_disk_store()
+        return execute_jobs(
+            grid,
+            self.store,
+            njobs=self.jobs,
+            result_cache=self.result_cache,
+            timeout=self.timeout,
+            progress=fanout(self.telemetry, self._progress),
+            start_method=self._start_method,
+        )
+
+    def analyze_grid(self, grid: Sequence[AnalysisJob]) -> List[AnalysisResult]:
+        """Execute a grid strictly: results in submission order, or
+        :class:`JobFailedError` listing every failed job."""
+        outcomes = self.run_grid(grid)
+        failures = [outcome for outcome in outcomes if not outcome.ok]
+        if failures:
+            raise JobFailedError(failures)
+        return [outcome.result for outcome in outcomes]
+
+    def analyze(
+        self,
+        workload,
+        cap: int,
+        config: Optional[AnalysisConfig] = None,
+        method: str = "forward",
+        optimize: bool = False,
+    ) -> AnalysisResult:
+        """One analysis, in-process, through the result cache."""
+        name = workload if isinstance(workload, str) else workload.name
+        job = AnalysisJob(
+            workload=name,
+            cap=cap,
+            config=config if config is not None else AnalysisConfig(),
+            method=method,
+            optimize=optimize,
+        )
+        outcomes = execute_jobs(
+            [job],
+            self.store,
+            njobs=1,
+            result_cache=self.result_cache,
+            progress=fanout(self.telemetry, self._progress),
+        )
+        outcome = outcomes[0]
+        if not outcome.ok:
+            raise JobFailedError([outcome])
+        return outcome.result

@@ -1,0 +1,105 @@
+"""Content-addressed on-disk result cache.
+
+Keys are ``sha256(schema version, trace digest, job digest)``: any change to
+the trace content, any analysis switch, the analysis method, or the cache
+schema itself lands at a different key, so entries never need invalidation —
+a repeated experiment run simply hits, and a changed one simply misses.
+
+Entries are JSON files written atomically (temp file + rename), so parallel
+workers and concurrent experiment runs can share one cache directory
+without locks: at worst two processes compute the same result and the last
+rename wins with identical bytes. A corrupt, truncated, or
+schema-mismatched entry is treated as a miss (and removed), never returned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from typing import Optional
+
+from repro.core.results import AnalysisResult
+from repro.engine.jobs import AnalysisJob
+from repro.engine.serialize import result_from_dict, result_to_dict
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the serialized result layout changes; old entries become misses.
+SCHEMA_VERSION = 1
+
+
+def cache_key(trace_digest: str, job: AnalysisJob) -> str:
+    """The cache key for ``job`` run against a trace with ``trace_digest``."""
+    payload = f"{SCHEMA_VERSION}:{trace_digest}:{job.digest()}".encode("ascii")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ResultCache:
+    """Directory of cached :class:`AnalysisResult` values."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> Optional[AnalysisResult]:
+        """The cached result for ``key``, or ``None`` on any kind of miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != SCHEMA_VERSION:
+                raise ValueError(f"schema {entry.get('schema')!r}")
+            result = result_from_dict(entry["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError) as error:
+            logger.warning("discarding bad result-cache entry %s (%s)", path, error)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, trace_digest: str, job: AnalysisJob, result: AnalysisResult) -> None:
+        """Persist one result atomically. The job spec and trace digest are
+        stored alongside the payload for debuggability (``jq`` a cache entry
+        to see exactly what produced it)."""
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "trace_digest": trace_digest,
+            "job": job.canonical(),
+            "result": result_to_dict(result),
+        }
+        path = self._path(key)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.directory, prefix=".tmp-", suffix=".json", delete=False
+        )
+        try:
+            with handle:
+                json.dump(entry, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.remove(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for name in os.listdir(self.directory)
+            if name.endswith(".json") and not name.startswith(".tmp-")
+        )

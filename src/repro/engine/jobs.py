@@ -1,0 +1,118 @@
+"""Analysis job specifications and their stable identities.
+
+A *job* is the engine's unit of parallelism: one Paragraph analysis of one
+capped workload trace under one configuration. Jobs — not trace shards —
+are the unit because a single analysis is an inherently serial scan (each
+record's placement depends on the live-well state left by every earlier
+record), while the experiment grids of the paper (Tables 2-4, Figures 7-8,
+every ablation) are embarrassingly parallel across (trace x config) points.
+
+Identity is content-based: a job digest covers the workload name, cap,
+optimization flag, analysis method, and the full canonical configuration;
+combined with the trace content digest it keys the on-disk result cache,
+so identical work is never recomputed — across processes or across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.core.results import AnalysisResult
+from repro.core.twopass import twopass_analyze
+from repro.trace.buffer import TraceBuffer
+
+#: Analysis methods a job may request. Values take ``(trace, config)`` and
+#: return an :class:`AnalysisResult`; both entries produce identical results
+#: except for ``peak_live_well`` (see :mod:`repro.core.twopass`).
+METHODS: Dict[str, Callable[[TraceBuffer, AnalysisConfig], AnalysisResult]] = {
+    "forward": analyze,
+    "twopass": twopass_analyze,
+}
+
+
+@dataclass(frozen=True)
+class AnalysisJob:
+    """One (workload, cap, config) analysis request.
+
+    Attributes:
+        workload: suite workload name (resolved in the worker process).
+        cap: instruction cap — the first ``cap`` dynamic instructions.
+        config: the Paragraph configuration to analyze under.
+        method: ``"forward"`` (streaming, method 2) or ``"twopass"``
+            (reverse-annotated, method 1).
+        optimize: analyze the compiler-optimized trace of the workload
+            (the abl-compiler grid axis).
+    """
+
+    workload: str
+    cap: int
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    method: str = "forward"
+    optimize: bool = False
+
+    def __post_init__(self):
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown analysis method {self.method!r}; "
+                f"choose from {', '.join(METHODS)}"
+            )
+        if self.cap < 1:
+            raise ValueError(f"cap must be >= 1, got {self.cap}")
+
+    # -- identity ----------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """JSON-safe canonical form (wire format across processes and the
+        job half of cache keys)."""
+        return {
+            "workload": self.workload,
+            "cap": self.cap,
+            "config": self.config.canonical(),
+            "method": self.method,
+            "optimize": self.optimize,
+        }
+
+    @classmethod
+    def from_canonical(cls, data: dict) -> "AnalysisJob":
+        """Inverse of :meth:`canonical` (worker-side reconstruction)."""
+        return cls(
+            workload=data["workload"],
+            cap=data["cap"],
+            config=AnalysisConfig.from_canonical(data["config"]),
+            method=data["method"],
+            optimize=data["optimize"],
+        )
+
+    def digest(self) -> str:
+        """Stable hex digest of the job spec, identical across processes."""
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable tag for progress lines."""
+        extras = []
+        if self.method != "forward":
+            extras.append(self.method)
+        if self.optimize:
+            extras.append("optimized")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        return f"{self.workload}@{self.cap} {self.config.describe()}{suffix}"
+
+    # -- trace identity ----------------------------------------------------
+
+    @property
+    def trace_key(self) -> tuple:
+        """The (workload, cap, optimize) triple identifying the input trace;
+        jobs sharing a trace key share one cached trace load per worker."""
+        return (self.workload, self.cap, self.optimize)
+
+    def run(self, trace: TraceBuffer) -> AnalysisResult:
+        """Execute this job against an already-loaded trace."""
+        return METHODS[self.method](trace, self.config)

@@ -1,0 +1,472 @@
+"""Multiprocess job execution over the shared trace cache.
+
+Parallelization strategy: the parent materializes each distinct input trace
+in the on-disk trace cache *once* (via :meth:`TraceStore.ensure_on_disk`),
+then ships workers only job specs and trace file paths. Workers load traces
+from disk themselves — a multi-hundred-thousand-record buffer is never
+pickled per job — and keep a tiny per-process LRU of loaded traces, which
+the grid order (workload-major) keeps hot.
+
+Fault containment: every worker wraps job execution, so an analysis error
+returns a structured failure for that job while the rest of the grid
+proceeds. The parent additionally enforces an optional per-job wall-clock
+timeout and detects crashed workers; in both cases the worker process is
+killed (or found dead), the job is marked failed, and a replacement worker
+is spawned so pool capacity survives bad configs.
+
+Fork-safe bootstrap: workers rebuild all state from (path, spec) messages —
+nothing depends on inherited open file handles or parent caches — so the
+pool runs identically under ``fork`` (fast, the default where available)
+and ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import AnalysisResult
+from repro.engine.cache import ResultCache, cache_key
+from repro.engine.jobs import AnalysisJob
+from repro.engine.progress import (
+    JOB_CACHED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_STARTED,
+    JobEvent,
+    ProgressListener,
+)
+from repro.engine.serialize import result_from_dict, result_to_dict
+from repro.trace.io import read_trace_file
+
+#: Traces an idle worker keeps loaded (grid order keeps this tiny LRU hot).
+_WORKER_TRACE_LRU = 2
+
+#: Seconds the scheduling loop sleeps waiting for worker messages between
+#: deadline/liveness sweeps.
+_POLL_INTERVAL = 0.05
+
+#: How long the pool tolerates "no running jobs, no queued tasks, no
+#: messages" before declaring the remaining jobs lost (see the backstop in
+#: :func:`execute_jobs`). Long enough to cover a worker's window between
+#: claiming a task and reporting JOB_STARTED.
+_IDLE_GRACE = 1.0
+
+
+class EngineError(Exception):
+    """Base class for engine failures."""
+
+
+class JobFailedError(EngineError):
+    """Raised when a grid is executed in strict mode and any job failed."""
+
+    def __init__(self, failures: List["JobOutcome"]):
+        self.failures = failures
+        lines = [f"{len(failures)} job(s) failed:"]
+        for outcome in failures[:5]:
+            lines.append(f"  - {outcome.job.describe()}: {outcome.error}")
+        if len(failures) > 5:
+            lines.append(f"  ... and {len(failures) - 5} more")
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one submitted job.
+
+    Attributes:
+        index: position in the submitted grid.
+        job: the job spec.
+        result: the analysis result (``None`` on failure).
+        error: one-line failure description (``None`` on success).
+        detail: full worker-side traceback when one exists.
+        seconds: wall-clock execution time (0 for cache hits).
+        cached: the result came from the result cache.
+        worker: id of the worker that ran the job (``None`` for in-process
+            execution and cache hits).
+    """
+
+    index: int
+    job: AnalysisJob
+    result: Optional[AnalysisResult] = None
+    error: Optional[str] = None
+    detail: Optional[str] = None
+    seconds: float = 0.0
+    cached: bool = False
+    worker: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _null_listener(event: JobEvent) -> None:
+    return None
+
+
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """``fork`` where the platform offers it (cheap bootstrap), else
+    ``spawn``; an explicit request wins."""
+    if start_method is not None:
+        return start_method
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: pull ``(index, job wire form, trace path)`` tasks until
+    the ``None`` sentinel. All state is rebuilt from the message contents."""
+    traces: "OrderedDict[str, object]" = OrderedDict()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        index, wire, trace_path = task
+        result_queue.put((JOB_STARTED, worker_id, index, None))
+        start = time.perf_counter()
+        try:
+            job = AnalysisJob.from_canonical(wire)
+            trace = traces.get(trace_path)
+            if trace is None:
+                trace = read_trace_file(trace_path)
+                traces[trace_path] = trace
+                while len(traces) > _WORKER_TRACE_LRU:
+                    traces.popitem(last=False)
+            else:
+                traces.move_to_end(trace_path)
+            result = job.run(trace)
+            payload = (result_to_dict(result), time.perf_counter() - start)
+            result_queue.put((JOB_DONE, worker_id, index, payload))
+        except BaseException as error:  # noqa: BLE001 - one bad job must not kill the grid
+            payload = (
+                f"{type(error).__name__}: {error}",
+                traceback.format_exc(),
+                time.perf_counter() - start,
+            )
+            result_queue.put((JOB_FAILED, worker_id, index, payload))
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+def _cache_lookup(
+    result_cache: Optional[ResultCache], trace_digest: str, job: AnalysisJob
+) -> Tuple[Optional[str], Optional[AnalysisResult]]:
+    if result_cache is None:
+        return None, None
+    key = cache_key(trace_digest, job)
+    return key, result_cache.load(key)
+
+
+def execute_serial(
+    jobs: Sequence[AnalysisJob],
+    store,
+    result_cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
+) -> List[JobOutcome]:
+    """In-process execution — the ``--jobs 1`` path. No subprocesses, no
+    serialization round-trips beyond the result cache: exceptions surface
+    with their original tracebacks, which keeps this the debuggable
+    default."""
+    emit = progress or _null_listener
+    total = len(jobs)
+    outcomes: List[JobOutcome] = []
+    for index, job in enumerate(jobs):
+        try:
+            trace = store.trace(job.workload, job.cap, optimize=job.optimize)
+        except Exception as error:  # noqa: BLE001 - bad workload spec, not a crash
+            outcome = JobOutcome(
+                index,
+                job,
+                error=f"{type(error).__name__}: {error}",
+                detail=traceback.format_exc(),
+            )
+            outcomes.append(outcome)
+            emit(JobEvent(JOB_FAILED, index, total, job, 0.0, outcome.error))
+            continue
+        trace_digest = trace.digest()
+        key, cached = _cache_lookup(result_cache, trace_digest, job)
+        if cached is not None:
+            outcomes.append(JobOutcome(index, job, result=cached, cached=True))
+            emit(JobEvent(JOB_CACHED, index, total, job))
+            continue
+        emit(JobEvent(JOB_STARTED, index, total, job))
+        start = time.perf_counter()
+        try:
+            result = job.run(trace)
+        except Exception as error:  # noqa: BLE001 - match worker fault containment
+            seconds = time.perf_counter() - start
+            outcome = JobOutcome(
+                index,
+                job,
+                error=f"{type(error).__name__}: {error}",
+                detail=traceback.format_exc(),
+                seconds=seconds,
+            )
+            outcomes.append(outcome)
+            emit(JobEvent(JOB_FAILED, index, total, job, seconds, outcome.error))
+            continue
+        seconds = time.perf_counter() - start
+        if result_cache is not None:
+            result_cache.store(key, trace_digest, job, result)
+        outcomes.append(JobOutcome(index, job, result=result, seconds=seconds))
+        emit(JobEvent(JOB_DONE, index, total, job, seconds))
+    return outcomes
+
+
+def execute_jobs(
+    jobs: Sequence[AnalysisJob],
+    store,
+    njobs: int = 1,
+    result_cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressListener] = None,
+    start_method: Optional[str] = None,
+) -> List[JobOutcome]:
+    """Execute a job grid, fanning out to ``njobs`` worker processes.
+
+    Results come back in submission order regardless of completion order.
+    ``njobs == 1`` (or a single-job grid) runs in-process via
+    :func:`execute_serial`.
+    """
+    if njobs < 1:
+        raise ValueError(f"njobs must be >= 1, got {njobs}")
+    if njobs == 1 or len(jobs) <= 1:
+        return execute_serial(jobs, store, result_cache, progress)
+    if not getattr(store, "directory", None):
+        raise EngineError(
+            "parallel execution requires a disk-backed TraceStore "
+            "(workers load traces from the shared on-disk cache)"
+        )
+
+    emit = progress or _null_listener
+    total = len(jobs)
+    outcomes: List[Optional[JobOutcome]] = [None] * total
+
+    # Materialize each distinct trace once; collect digests for cache keys.
+    # A trace that cannot be produced (unknown workload, generation error)
+    # fails its jobs — fault containment starts before the pool.
+    trace_files: Dict[tuple, Tuple[str, str]] = {}
+    trace_errors: Dict[tuple, Tuple[str, str]] = {}
+    for job in jobs:
+        if job.trace_key in trace_files or job.trace_key in trace_errors:
+            continue
+        try:
+            trace_files[job.trace_key] = store.ensure_on_disk(
+                job.workload, job.cap, optimize=job.optimize
+            )
+        except Exception as error:  # noqa: BLE001 - bad workload spec, not a crash
+            trace_errors[job.trace_key] = (
+                f"{type(error).__name__}: {error}",
+                traceback.format_exc(),
+            )
+
+    # Resolve cache hits in the parent; only misses reach the pool.
+    tasks: List[Tuple[int, dict, str]] = []
+    keys: Dict[int, Tuple[str, str]] = {}
+    for index, job in enumerate(jobs):
+        if job.trace_key in trace_errors:
+            error, detail = trace_errors[job.trace_key]
+            outcomes[index] = JobOutcome(index, job, error=error, detail=detail)
+            emit(JobEvent(JOB_FAILED, index, total, job, 0.0, error))
+            continue
+        path, trace_digest = trace_files[job.trace_key]
+        key, cached = _cache_lookup(result_cache, trace_digest, job)
+        if cached is not None:
+            outcomes[index] = JobOutcome(index, job, result=cached, cached=True)
+            emit(JobEvent(JOB_CACHED, index, total, job))
+            continue
+        if key is not None:
+            keys[index] = (key, trace_digest)
+        tasks.append((index, job.canonical(), path))
+    if not tasks:
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    context = multiprocessing.get_context(resolve_start_method(start_method))
+    task_queue = context.Queue()
+    result_queue = context.Queue()
+    for task in tasks:
+        task_queue.put(task)
+    worker_count = min(njobs, len(tasks))
+    for _ in range(worker_count):
+        task_queue.put(None)
+
+    workers: Dict[int, multiprocessing.Process] = {}
+    next_worker_id = 0
+
+    def spawn_worker() -> None:
+        nonlocal next_worker_id
+        worker_id = next_worker_id
+        next_worker_id += 1
+        process = context.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, result_queue),
+            daemon=True,
+            name=f"paragraph-worker-{worker_id}",
+        )
+        process.start()
+        workers[worker_id] = process
+
+    for _ in range(worker_count):
+        spawn_worker()
+
+    #: worker id -> (job index, start wall-clock) while a job is in flight.
+    running: Dict[int, Tuple[int, float]] = {}
+    pending = len(tasks)
+
+    def finish(outcome: JobOutcome, kind: str) -> None:
+        nonlocal pending
+        if outcomes[outcome.index] is not None:
+            return  # already resolved (e.g. timed out before its result arrived)
+        outcomes[outcome.index] = outcome
+        pending -= 1
+        emit(
+            JobEvent(
+                kind,
+                outcome.index,
+                total,
+                outcome.job,
+                outcome.seconds,
+                outcome.error,
+                outcome.worker,
+            )
+        )
+
+    def handle_message(message) -> None:
+        kind, worker_id, index, payload = message
+        job = jobs[index]
+        if worker_id not in workers:
+            # A terminated worker's last messages can still be sitting in
+            # the queue; acting on them would resurrect a dead worker id.
+            return
+        if kind == JOB_STARTED:
+            running[worker_id] = (index, time.perf_counter())
+            emit(JobEvent(JOB_STARTED, index, total, job, worker=worker_id))
+        elif kind == JOB_DONE:
+            running.pop(worker_id, None)
+            result_dict, seconds = payload
+            result = result_from_dict(result_dict)
+            if result_cache is not None and index in keys:
+                key, trace_digest = keys[index]
+                result_cache.store(key, trace_digest, job, result)
+            finish(
+                JobOutcome(index, job, result=result, seconds=seconds, worker=worker_id),
+                JOB_DONE,
+            )
+        elif kind == JOB_FAILED:
+            running.pop(worker_id, None)
+            error, detail, seconds = payload
+            finish(
+                JobOutcome(
+                    index, job, error=error, detail=detail, seconds=seconds, worker=worker_id
+                ),
+                JOB_FAILED,
+            )
+
+    def kill_worker(worker_id: int, index: int, error: str) -> None:
+        entry = running.pop(worker_id, None)
+        started_at = entry[1] if entry else time.perf_counter()
+        process = workers.pop(worker_id, None)
+        if process is not None:
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        seconds = time.perf_counter() - started_at
+        finish(
+            JobOutcome(index, jobs[index], error=error, seconds=seconds, worker=worker_id),
+            JOB_FAILED,
+        )
+        if pending > 0:
+            spawn_worker()
+
+    #: Backstop for tasks a terminated worker claimed but never reported:
+    #: when nothing is running, nothing is queued, and no message arrives
+    #: for a grace period, the unresolved jobs are failed rather than
+    #: hanging the grid.
+    idle_since: Optional[float] = None
+
+    try:
+        while pending > 0:
+            try:
+                handle_message(result_queue.get(timeout=_POLL_INTERVAL))
+                idle_since = None
+                continue
+            except queue_module.Empty:
+                pass
+            now = time.perf_counter()
+            if running or not task_queue.empty():
+                idle_since = None
+            elif idle_since is None:
+                idle_since = now
+            elif now - idle_since > _IDLE_GRACE:
+                for index in range(total):
+                    if outcomes[index] is None:
+                        finish(
+                            JobOutcome(
+                                index,
+                                jobs[index],
+                                error="job lost after worker termination",
+                            ),
+                            JOB_FAILED,
+                        )
+                break
+            if timeout is not None:
+                for worker_id, (index, started_at) in list(running.items()):
+                    if now - started_at > timeout:
+                        kill_worker(
+                            worker_id,
+                            index,
+                            f"timeout: exceeded {timeout:g}s per-job limit",
+                        )
+            # Liveness sweep: a worker that died without reporting (OOM
+            # kill, segfault) would otherwise hang the grid.
+            for worker_id, process in list(workers.items()):
+                if process.is_alive():
+                    continue
+                # Drain any messages it managed to send before dying.
+                drained = True
+                while drained:
+                    try:
+                        handle_message(result_queue.get_nowait())
+                    except queue_module.Empty:
+                        drained = False
+                if worker_id in running:
+                    index, _ = running[worker_id]
+                    workers.pop(worker_id)
+                    running.pop(worker_id)
+                    finish(
+                        JobOutcome(
+                            index,
+                            jobs[index],
+                            error=f"worker crashed (exit code {process.exitcode})",
+                            worker=worker_id,
+                        ),
+                        JOB_FAILED,
+                    )
+                    if pending > 0:
+                        spawn_worker()
+                elif pending == 0 or task_queue.empty():
+                    workers.pop(worker_id)
+    finally:
+        for process in workers.values():
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        task_queue.close()
+        task_queue.cancel_join_thread()
+        result_queue.close()
+        result_queue.cancel_join_thread()
+
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,112 @@
+"""Job-level progress events and run telemetry.
+
+The engine reports every job transition through a listener callable, so the
+CLI can render live progress, tests can record event streams, and benchmark
+harnesses can collect per-job timings without patching the pool. Listeners
+must be cheap and must not raise; the engine calls them from its scheduling
+loop (never from worker processes).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.engine.jobs import AnalysisJob
+
+#: Event kinds, in lifecycle order.
+JOB_STARTED = "started"
+JOB_CACHED = "cached"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One job lifecycle transition.
+
+    Attributes:
+        kind: one of the ``JOB_*`` constants.
+        index: position of the job in the submitted grid.
+        total: grid size.
+        job: the job spec.
+        seconds: wall-clock duration (``done``/``failed``; 0 otherwise).
+        error: one-line error description (``failed`` only).
+        worker: worker id that ran the job (``None`` for in-process work
+            and cache hits).
+    """
+
+    kind: str
+    index: int
+    total: int
+    job: AnalysisJob
+    seconds: float = 0.0
+    error: Optional[str] = None
+    worker: Optional[int] = None
+
+
+ProgressListener = Callable[[JobEvent], None]
+
+
+@dataclass
+class EngineTelemetry:
+    """Aggregate counters for one grid execution (also a listener)."""
+
+    submitted: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    busy_seconds: float = 0.0
+    events: List[JobEvent] = field(default_factory=list)
+
+    def __call__(self, event: JobEvent) -> None:
+        self.events.append(event)
+        if event.kind == JOB_STARTED:
+            self.submitted += 1
+        elif event.kind == JOB_CACHED:
+            self.cache_hits += 1
+            self.completed += 1
+        elif event.kind == JOB_DONE:
+            self.completed += 1
+            self.busy_seconds += event.seconds
+        elif event.kind == JOB_FAILED:
+            self.failures += 1
+            self.busy_seconds += event.seconds
+
+    def summary(self) -> str:
+        """One-line rollup for logs and the CLI."""
+        return (
+            f"{self.completed} jobs done ({self.cache_hits} cached, "
+            f"{self.failures} failed), {self.busy_seconds:.2f}s analysis time"
+        )
+
+
+def console_listener(stream=None) -> ProgressListener:
+    """A listener that prints one line per completed/cached/failed job."""
+    out = stream if stream is not None else sys.stderr
+
+    def listen(event: JobEvent) -> None:
+        if event.kind == JOB_STARTED:
+            return
+        width = len(str(event.total))
+        tag = {JOB_CACHED: "cached", JOB_DONE: f"{event.seconds:6.2f}s", JOB_FAILED: "FAILED"}[
+            event.kind
+        ]
+        line = f"[{event.index + 1:>{width}}/{event.total}] {tag:>8}  {event.job.describe()}"
+        if event.error:
+            line += f"  ({event.error})"
+        print(line, file=out)
+
+    return listen
+
+
+def fanout(*listeners: Optional[ProgressListener]) -> ProgressListener:
+    """Combine listeners, skipping ``None`` entries."""
+    active = [listener for listener in listeners if listener is not None]
+
+    def listen(event: JobEvent) -> None:
+        for listener in active:
+            listener(event)
+
+    return listen

@@ -17,9 +17,47 @@ from typing import List, Optional
 
 from repro.core.analyzer import analyze
 from repro.core.config import AnalysisConfig
+from repro.engine import ExperimentEngine, console_listener
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.runner import DEFAULT_CAP, TraceStore
 from repro.workloads.suite import SUITE_NAMES, load_workload
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="analysis worker processes (1 = in-process serial, the "
+        "debuggable default)",
+    )
+    parser.add_argument(
+        "--result-cache",
+        help="directory for the content-addressed result cache; repeated "
+        "runs with the same traces and configs skip recompute entirely",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock limit in seconds (a stuck job fails alone; "
+        "the rest of the grid continues)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed analysis job (stderr)",
+    )
+
+
+def _build_engine(args) -> ExperimentEngine:
+    return ExperimentEngine(
+        store=TraceStore(args.trace_dir),
+        jobs=args.jobs,
+        result_cache=args.result_cache,
+        timeout=args.job_timeout,
+        progress=console_listener() if args.progress else None,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,6 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--trace-dir", help="directory for cached binary traces (reused across runs)"
     )
+    _add_engine_arguments(run)
 
     report = sub.add_parser(
         "report", help="run every experiment and write EXPERIMENTS.md"
@@ -52,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--cap", type=int, default=DEFAULT_CAP)
     report.add_argument("--out", default="EXPERIMENTS.md")
     report.add_argument("--trace-dir", help="directory for cached binary traces")
+    _add_engine_arguments(report)
 
     adhoc = sub.add_parser("analyze", help="analyze one workload or trace file")
     adhoc.add_argument(
@@ -85,11 +125,11 @@ def _command_list() -> int:
 
 def _command_run(args) -> int:
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    store = TraceStore(args.trace_dir)
+    engine = _build_engine(args)
     if args.out:
         os.makedirs(args.out, exist_ok=True)
     for name in names:
-        output = run_experiment(name, store, args.cap)
+        output = run_experiment(name, engine, args.cap)
         text = output.render()
         print(text)
         print()
@@ -101,6 +141,8 @@ def _command_run(args) -> int:
                 path = os.path.join(args.out, f"{name}{suffix}.csv")
                 with open(path, "w") as handle:
                     handle.write(table.to_csv() + "\n")
+    if args.progress:
+        print(engine.telemetry.summary(), file=sys.stderr)
     return 0
 
 
@@ -152,7 +194,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from repro.harness.report import write_report
 
-        write_report(args.out, args.cap, TraceStore(args.trace_dir))
+        write_report(args.out, args.cap, _build_engine(args))
         print(f"wrote {args.out}")
         return 0
     return _command_analyze(args)

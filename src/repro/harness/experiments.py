@@ -1,31 +1,51 @@
 """Experiment definitions: one function per paper table/figure + ablations.
 
-Every function takes a :class:`~repro.harness.runner.TraceStore` and an
-instruction cap and returns an :class:`ExperimentOutput`. The registry
-:data:`EXPERIMENTS` maps experiment ids (``table3``, ``fig8``, ...) to
-their functions; the benchmark suite and the CLI both dispatch through it.
+Every function takes a trace source — a
+:class:`~repro.harness.runner.TraceStore` or a fully configured
+:class:`~repro.engine.ExperimentEngine` — plus an instruction cap, and
+returns an :class:`ExperimentOutput`. The registry :data:`EXPERIMENTS` maps
+experiment ids (``table3``, ``fig8``, ...) to their functions; the benchmark
+suite and the CLI both dispatch through it.
+
+Analysis structure: each experiment builds its full (workload x config)
+grid of :class:`~repro.engine.AnalysisJob` specs up front and submits the
+batch through :meth:`ExperimentEngine.analyze_grid`, so the same code runs
+serially under ``--jobs 1`` and fans out to worker processes under
+``--jobs N`` — and hits the on-disk result cache either way. Jobs are
+ordered workload-major, keeping each worker's small trace LRU hot.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.baselines.average_only import average_parallelism
 from repro.baselines.kumar import statement_parallelism
-from repro.core.analyzer import analyze
 from repro.core.config import CONSERVATIVE, OPTIMISTIC, AnalysisConfig
 from repro.core.latency import LatencyTable
 from repro.core.resources import ResourceModel
 from repro.core.results import measurement_error
-from repro.core.twopass import twopass_analyze
+from repro.engine import AnalysisJob, ExperimentEngine
 from repro.harness.paper_data import PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4
 from repro.harness.runner import DEFAULT_CAP, TraceStore
 from repro.harness.tables import Table
 from repro.isa.opclasses import OpClass
 from repro.trace.stats import compute_stats
 from repro.workloads.suite import all_workloads
+
+#: What experiment functions accept as their trace source.
+TraceSource = Union[TraceStore, ExperimentEngine]
+
+
+def as_engine(source: Optional[TraceSource]) -> ExperimentEngine:
+    """Coerce a trace source to an engine (a bare store gets the serial,
+    uncached engine — the behavior the store alone used to provide)."""
+    if source is None:
+        return ExperimentEngine()
+    if isinstance(source, ExperimentEngine):
+        return source
+    return ExperimentEngine(store=source)
 
 
 @dataclass
@@ -42,10 +62,30 @@ class ExperimentOutput:
         return "\n\n".join(parts)
 
 
+def _grid_by_workload(
+    engine: ExperimentEngine, cap: int, configs: List[AnalysisConfig], **job_kwargs
+):
+    """Run the (workload x config) product grid; returns
+    ``(workloads, {workload name: [result per config]})``."""
+    workloads = all_workloads()
+    grid = [
+        AnalysisJob(workload.name, cap, config, **job_kwargs)
+        for workload in workloads
+        for config in configs
+    ]
+    results = engine.analyze_grid(grid)
+    width = len(configs)
+    by_workload = {
+        workload.name: results[i * width : (i + 1) * width]
+        for i, workload in enumerate(workloads)
+    }
+    return workloads, by_workload
+
+
 # -- Table 1 -----------------------------------------------------------------
 
 
-def table1_latencies(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def table1_latencies(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Instruction class operation times (paper Table 1)."""
     paper = {
         OpClass.IALU: 1,
@@ -72,8 +112,9 @@ def table1_latencies(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOut
 # -- Table 2 -----------------------------------------------------------------
 
 
-def table2_suite(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def table2_suite(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Benchmark inventory (paper Table 2)."""
+    engine = as_engine(source)
     table = Table(
         "Table 2: Workloads Analyzed",
         [
@@ -88,9 +129,9 @@ def table2_suite(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
         ],
     )
     for workload in all_workloads():
-        trace = store.trace(workload, cap)
+        trace = engine.trace(workload, cap)
         stats = compute_stats(trace)
-        total = store.full_run_length(workload)
+        total = engine.store.full_run_length(workload)
         paper_total, _ = PAPER_TABLE2[workload.analog_of]
         table.add_row(
             workload.name,
@@ -112,8 +153,9 @@ def table2_suite(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
 # -- Table 3 -----------------------------------------------------------------
 
 
-def table3_dataflow(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def table3_dataflow(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Dataflow limit under conservative vs optimistic syscalls (Table 3)."""
+    engine = as_engine(source)
     table = Table(
         "Table 3: Dataflow Results (all renaming on, unlimited window)",
         [
@@ -128,10 +170,13 @@ def table3_dataflow(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutp
             "Paper error",
         ],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        conservative = analyze(trace, AnalysisConfig.dataflow_limit(CONSERVATIVE))
-        optimistic = analyze(trace, AnalysisConfig.dataflow_limit(OPTIMISTIC))
+    configs = [
+        AnalysisConfig.dataflow_limit(CONSERVATIVE),
+        AnalysisConfig.dataflow_limit(OPTIMISTIC),
+    ]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        conservative, optimistic = results[workload.name]
         paper = PAPER_TABLE3[workload.analog_of]
         table.add_row(
             workload.name,
@@ -155,8 +200,9 @@ def table3_dataflow(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutp
 # -- Figure 7 ----------------------------------------------------------------
 
 
-def fig7_profiles(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def fig7_profiles(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Parallelism profiles (paper Figure 7), as ASCII plots + burstiness."""
+    engine = as_engine(source)
     table = Table(
         "Figure 7 summary: Parallelism Profile Statistics",
         [
@@ -168,9 +214,10 @@ def fig7_profiles(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput
         ],
     )
     figures = {}
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        result = analyze(trace, AnalysisConfig.dataflow_limit(CONSERVATIVE))
+    configs = [AnalysisConfig.dataflow_limit(CONSERVATIVE)]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        (result,) = results[workload.name]
         profile = result.profile
         table.add_row(
             workload.name,
@@ -198,20 +245,19 @@ _RENAMING_CONFIGS = [
 ]
 
 
-def table4_renaming(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def table4_renaming(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Available parallelism under the four renaming conditions (Table 4)."""
+    engine = as_engine(source)
     table = Table(
         "Table 4: Available Parallelism under Different Renaming Conditions",
         ["Workload"]
         + [name for name, _ in _RENAMING_CONFIGS]
         + ["Paper (none/regs/r+s/full)"],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        values = [
-            analyze(trace, make()).available_parallelism
-            for _, make in _RENAMING_CONFIGS
-        ]
+    configs = [make() for _, make in _RENAMING_CONFIGS]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        values = [result.available_parallelism for result in results[workload.name]]
         paper = PAPER_TABLE4[workload.analog_of]
         table.add_row(
             workload.name,
@@ -232,8 +278,9 @@ def table4_renaming(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutp
 FIG8_WINDOWS = (1, 4, 16, 64, 256, 1024, 4096, 16384, None)
 
 
-def fig8_window(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def fig8_window(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Window size vs percent of total available parallelism (Figure 8)."""
+    engine = as_engine(source)
     headers = ["Workload"] + [
         "inf" if w is None else str(w) for w in FIG8_WINDOWS
     ]
@@ -242,12 +289,10 @@ def fig8_window(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
         "Figure 8 (absolute): Window Size vs Available Parallelism",
         headers,
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        values = []
-        for window in FIG8_WINDOWS:
-            config = AnalysisConfig(window_size=window)
-            values.append(analyze(trace, config).available_parallelism)
+    configs = [AnalysisConfig(window_size=window) for window in FIG8_WINDOWS]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        values = [result.available_parallelism for result in results[workload.name]]
         total = values[-1]
         table.add_row(
             workload.name, *[100.0 * v / total if total else 0.0 for v in values]
@@ -266,8 +311,9 @@ def fig8_window(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
 # -- section 2.3 distributions -------------------------------------------------
 
 
-def lifetimes(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def lifetimes(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Value lifetime and degree-of-sharing distributions (section 2.3)."""
+    engine = as_engine(source)
     table = Table(
         "Value Lifetimes and Degree of Sharing (full renaming, conservative)",
         [
@@ -280,11 +326,10 @@ def lifetimes(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
             "Dead value %",
         ],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        result = analyze(
-            trace, AnalysisConfig(collect_lifetimes=True)
-        )
+    configs = [AnalysisConfig(collect_lifetimes=True)]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        (result,) = results[workload.name]
         stats = result.lifetimes
         table.add_row(
             workload.name,
@@ -305,20 +350,23 @@ def lifetimes(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
 # -- ablations -----------------------------------------------------------------
 
 
-def ablation_resources(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def ablation_resources(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Figure 4 generalized: universal functional-unit count sweep."""
+    engine = as_engine(source)
     counts = (1, 2, 4, 8, 16, 32, 64, None)
     table = Table(
         "Ablation: Available Parallelism vs Universal FU Count",
         ["Workload"] + ["inf" if c is None else str(c) for c in counts],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        values = []
-        for count in counts:
-            resources = None if count is None else ResourceModel(universal=count)
-            config = AnalysisConfig(resources=resources)
-            values.append(analyze(trace, config).available_parallelism)
+    configs = [
+        AnalysisConfig(
+            resources=None if count is None else ResourceModel(universal=count)
+        )
+        for count in counts
+    ]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        values = [result.available_parallelism for result in results[workload.name]]
         table.add_row(workload.name, *values)
     table.notes = (
         "Greedy first-fit placement; with k universal FUs no level holds "
@@ -327,8 +375,9 @@ def ablation_resources(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentO
     return ExperimentOutput([table])
 
 
-def ablation_branch(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def ablation_branch(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Extension: misprediction firewalls under real predictors."""
+    engine = as_engine(source)
     models = (None, "gshare", "bimodal", "taken", "not-taken")
     table = Table(
         "Ablation: Available Parallelism under Branch-Prediction Firewalls",
@@ -336,12 +385,12 @@ def ablation_branch(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutp
         + ["perfect" if m is None else m for m in models]
         + ["gshare mispred %"],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
+    configs = [AnalysisConfig(branch_predictor=model) for model in models]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
         values = []
         gshare_rate = 0.0
-        for model in models:
-            result = analyze(trace, AnalysisConfig(branch_predictor=model))
+        for model, result in zip(models, results[workload.name]):
             values.append(result.available_parallelism)
             if model == "gshare" and result.branches:
                 gshare_rate = 100.0 * result.mispredictions / result.branches
@@ -354,8 +403,9 @@ def ablation_branch(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutp
     return ExperimentOutput([table])
 
 
-def ablation_twopass(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def ablation_twopass(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Paper section 3.2: forward single-pass vs reverse-annotated two-pass."""
+    engine = as_engine(source)
     table = Table(
         "Ablation: Live-Well Working Set, Forward (method 2) vs Two-Pass (method 1)",
         [
@@ -368,15 +418,24 @@ def ablation_twopass(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOut
             "2-pass sec",
         ],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        config = AnalysisConfig()
-        start = time.perf_counter()
-        forward = analyze(trace, config)
-        forward_time = time.perf_counter() - start
-        start = time.perf_counter()
-        twopass = twopass_analyze(trace, config)
-        twopass_time = time.perf_counter() - start
+    workloads = all_workloads()
+    config = AnalysisConfig()
+    grid = [
+        AnalysisJob(workload.name, cap, config, method=method)
+        for workload in workloads
+        for method in ("forward", "twopass")
+    ]
+    # run_grid (not analyze_grid) to read per-job wall-clock timings; a
+    # result-cache hit reports 0s — the cached run did the work earlier.
+    outcomes = engine.run_grid(grid)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        from repro.engine import JobFailedError
+
+        raise JobFailedError(failures)
+    for i, workload in enumerate(workloads):
+        fwd, two = outcomes[2 * i], outcomes[2 * i + 1]
+        forward, twopass = fwd.result, two.result
         reduction = (
             forward.peak_live_well / twopass.peak_live_well
             if twopass.peak_live_well
@@ -388,19 +447,20 @@ def ablation_twopass(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOut
             twopass.peak_live_well,
             reduction,
             forward.critical_path_length == twopass.critical_path_length,
-            forward_time,
-            twopass_time,
+            fwd.seconds,
+            two.seconds,
         )
     table.notes = (
         "Method 1 stores the whole trace but evicts dead values eagerly; the "
         "paper needed 32 MB for method 2's working set on SPEC. Results are "
-        "identical by construction; only the working set differs."
+        "identical by construction; only the working set differs. Timings "
+        "are per-job wall clock (0 when served from the result cache)."
     )
     return ExperimentOutput([table])
 
 
 def ablation_disambiguation(
-    store: TraceStore, cap: int = DEFAULT_CAP
+    source: TraceSource, cap: int = DEFAULT_CAP
 ) -> ExperimentOutput:
     """Memory disambiguation strategies (the prior-work axis of section 3.1).
 
@@ -410,6 +470,7 @@ def ablation_disambiguation(
     study showed this single assumption costs an order of magnitude; this
     ablation reproduces that comparison on our suite.
     """
+    engine = as_engine(source)
     table = Table(
         "Ablation: Memory Disambiguation — Perfect vs None",
         [
@@ -419,12 +480,13 @@ def ablation_disambiguation(
             "Perfect/Conservative",
         ],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        perfect = analyze(trace, AnalysisConfig())
-        conservative = analyze(
-            trace, AnalysisConfig(memory_disambiguation="conservative")
-        )
+    configs = [
+        AnalysisConfig(),
+        AnalysisConfig(memory_disambiguation="conservative"),
+    ]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        perfect, conservative = results[workload.name]
         ratio = (
             perfect.available_parallelism / conservative.available_parallelism
             if conservative.available_parallelism
@@ -443,9 +505,10 @@ def ablation_disambiguation(
     return ExperimentOutput([table])
 
 
-def ablation_latency(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def ablation_latency(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Operation-latency sensitivity (section 3.1 cites 'changes in
     operation latencies' as a prior-work axis)."""
+    engine = as_engine(source)
     tables_by_name = [
         ("unit", LatencyTable.unit()),
         ("Table 1", LatencyTable.default()),
@@ -458,12 +521,10 @@ def ablation_latency(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOut
         "Ablation: Available Parallelism vs Operation Latencies",
         ["Workload"] + [name for name, _ in tables_by_name],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        values = [
-            analyze(trace, AnalysisConfig(latency=latency)).available_parallelism
-            for _, latency in tables_by_name
-        ]
+    configs = [AnalysisConfig(latency=latency) for _, latency in tables_by_name]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        values = [result.available_parallelism for result in results[workload.name]]
         table.add_row(workload.name, *values)
     table.notes = (
         "Longer latencies stretch dependence chains but also let more "
@@ -473,20 +534,19 @@ def ablation_latency(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOut
     return ExperimentOutput([table])
 
 
-def machine_models(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def machine_models(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Throttling the DDG to machine models (paper section 2.3)."""
     from repro.core.machines import MACHINE_MODELS
 
+    engine = as_engine(source)
     table = Table(
         "Machine Models: Extractable Parallelism per Machine Class",
         ["Workload"] + list(MACHINE_MODELS),
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        values = [
-            analyze(trace, model.config).available_parallelism
-            for model in MACHINE_MODELS.values()
-        ]
+    configs = [model.config for model in MACHINE_MODELS.values()]
+    workloads, results = _grid_by_workload(engine, cap, configs)
+    for workload in workloads:
+        values = [result.available_parallelism for result in results[workload.name]]
         table.add_row(workload.name, *values)
     table.notes = "Models, weakest first: " + "; ".join(
         f"{model.name} = {model.description}" for model in MACHINE_MODELS.values()
@@ -494,10 +554,11 @@ def machine_models(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutpu
     return ExperimentOutput([table])
 
 
-def ablation_compiler(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def ablation_compiler(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """The compiler's second-order effect on parallelism (paper section 3.2
     caveat 2: 'the compiler can actually create a second order effect on
     the parallelism in the program')."""
+    engine = as_engine(source)
     table = Table(
         "Ablation: Compiler Optimization vs Measured Parallelism",
         [
@@ -509,11 +570,16 @@ def ablation_compiler(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOu
             "AP ratio",
         ],
     )
-    for workload in all_workloads():
-        plain_trace = store.trace(workload, cap)
-        optimized_trace = workload.trace(max_instructions=cap, optimize=True)
-        plain = analyze(plain_trace, AnalysisConfig())
-        optimized = analyze(optimized_trace, AnalysisConfig())
+    workloads = all_workloads()
+    config = AnalysisConfig()
+    grid = [
+        AnalysisJob(workload.name, cap, config, optimize=optimize)
+        for workload in workloads
+        for optimize in (False, True)
+    ]
+    results = engine.analyze_grid(grid)
+    for i, workload in enumerate(workloads):
+        plain, optimized = results[2 * i], results[2 * i + 1]
         ratio = (
             optimized.available_parallelism / plain.available_parallelism
             if plain.available_parallelism
@@ -521,8 +587,8 @@ def ablation_compiler(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOu
         )
         table.add_row(
             workload.name,
-            len(plain_trace),
-            len(optimized_trace),
+            plain.records_processed,
+            optimized.records_processed,
             plain.available_parallelism,
             optimized.available_parallelism,
             ratio,
@@ -539,8 +605,9 @@ def ablation_compiler(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOu
     return ExperimentOutput([table])
 
 
-def ablation_baselines(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentOutput:
+def ablation_baselines(source: TraceSource, cap: int = DEFAULT_CAP) -> ExperimentOutput:
     """Prior-work comparison: average-only and statement-granularity."""
+    engine = as_engine(source)
     table = Table(
         "Baselines: Paragraph vs Average-Only vs Statement Granularity (Kumar)",
         [
@@ -553,10 +620,13 @@ def ablation_baselines(store: TraceStore, cap: int = DEFAULT_CAP) -> ExperimentO
             "Intra-stmt factor",
         ],
     )
-    for workload in all_workloads():
-        trace = store.trace(workload, cap)
-        config = AnalysisConfig()
-        paragraph = analyze(trace, config)
+    config = AnalysisConfig()
+    workloads, results = _grid_by_workload(engine, cap, [config])
+    for workload in workloads:
+        (paragraph,) = results[workload.name]
+        # The baselines return their own result shapes (not AnalysisResult),
+        # so they run in-process against the shared trace cache.
+        trace = engine.trace(workload, cap)
         avg = average_parallelism(trace, config)
         stmt = statement_parallelism(trace, config)
         factor = (
@@ -605,15 +675,14 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentOutput]] = {
 
 
 def run_experiment(
-    name: str, store: Optional[TraceStore] = None, cap: int = DEFAULT_CAP
+    name: str, source: Optional[TraceSource] = None, cap: int = DEFAULT_CAP
 ) -> ExperimentOutput:
-    """Run one experiment by id."""
-    if store is None:
-        store = TraceStore()
+    """Run one experiment by id against a store or engine."""
+    engine = as_engine(source)
     try:
         function = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}"
         ) from None
-    return function(store, cap)
+    return function(engine, cap)

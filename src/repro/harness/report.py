@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments import EXPERIMENTS, TraceSource, as_engine, run_experiment
 from repro.harness.paper_data import PAPER_TABLE4
-from repro.harness.runner import DEFAULT_CAP, TraceStore
+from repro.harness.runner import DEFAULT_CAP
 from repro.workloads.suite import all_workloads
 
 _PREAMBLE = """# EXPERIMENTS — paper vs. measured
@@ -198,10 +198,9 @@ def _table4_commentary(output) -> str:
     return "\n".join(lines)
 
 
-def generate_report(cap: int = DEFAULT_CAP, store: TraceStore = None) -> str:
+def generate_report(cap: int = DEFAULT_CAP, source: TraceSource = None) -> str:
     """Run every experiment and render the markdown report."""
-    if store is None:
-        store = TraceStore()
+    store = as_engine(source)
     parts: List[str] = [_PREAMBLE.format(cap=cap)]
     for name, title, commentary in _SECTIONS:
         output = run_experiment(name, store, cap)
@@ -219,7 +218,7 @@ def generate_report(cap: int = DEFAULT_CAP, store: TraceStore = None) -> str:
     return "\n".join(parts)
 
 
-def write_report(path: str, cap: int = DEFAULT_CAP, store: TraceStore = None) -> None:
+def write_report(path: str, cap: int = DEFAULT_CAP, source: TraceSource = None) -> None:
     """Generate and write the report to ``path``."""
     with open(path, "w") as handle:
-        handle.write(generate_report(cap, store))
+        handle.write(generate_report(cap, source))

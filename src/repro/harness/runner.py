@@ -3,17 +3,33 @@
 Every experiment analyzes the same capped traces under different Paragraph
 configurations (the paper likewise captured a Pixie trace once and reran
 the analyzer). The store keeps traces in memory for the process lifetime
-and optionally persists them to disk in the binary trace format.
+and optionally persists them to disk in the binary trace format; the
+parallel engine shares that on-disk cache with its worker processes so a
+multi-hundred-thousand-record buffer is never pickled per job.
+
+Disk-cache integrity: trace files embed a format version and content
+digest (see :mod:`repro.trace.io`). A stale, truncated, or corrupted
+cache file raises :class:`~repro.trace.io.TraceFormatError` on read; the
+store logs a warning and regenerates it from the workload — loud recovery
+instead of silently analyzing corrupt records.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Dict, Optional, Tuple
 
 from repro.trace.buffer import TraceBuffer
-from repro.trace.io import read_trace_file, write_trace_file
+from repro.trace.io import (
+    TraceFormatError,
+    read_trace_digest,
+    read_trace_file,
+    write_trace_file,
+)
 from repro.workloads.suite import load_workload
+
+logger = logging.getLogger(__name__)
 
 #: The paper analyzed at most 100M instructions per benchmark; our default
 #: budget scales that to pure-Python analysis speeds.
@@ -21,37 +37,98 @@ DEFAULT_CAP = 250_000
 
 
 class TraceStore:
-    """Caches workload traces by (name, cap)."""
+    """Caches workload traces by (name, cap, optimized)."""
 
     def __init__(self, directory: Optional[str] = None):
         self.directory = directory
-        self._memory: Dict[Tuple[str, int], TraceBuffer] = {}
+        self._memory: Dict[Tuple[str, int, bool], TraceBuffer] = {}
         self._lengths: Dict[str, int] = {}
         if directory:
             os.makedirs(directory, exist_ok=True)
 
-    def _path(self, name: str, cap: int) -> Optional[str]:
+    def persist_to(self, directory: str) -> None:
+        """Attach (or switch) the on-disk cache directory. The engine calls
+        this with a scratch directory when a parallel run needs disk-shared
+        traces but the store was created memory-only."""
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+
+    def _path(self, name: str, cap: int, optimize: bool = False) -> Optional[str]:
         if not self.directory:
             return None
-        return os.path.join(self.directory, f"{name}.{cap}.pgt")
+        suffix = ".opt" if optimize else ""
+        return os.path.join(self.directory, f"{name}.{cap}{suffix}.pgt")
 
-    def trace(self, workload, cap: int = DEFAULT_CAP) -> TraceBuffer:
+    def trace(self, workload, cap: int = DEFAULT_CAP, optimize: bool = False) -> TraceBuffer:
         """The first ``cap`` dynamic instructions of ``workload``."""
         if isinstance(workload, str):
             workload = load_workload(workload)
-        key = (workload.name, cap)
+        key = (workload.name, cap, optimize)
         cached = self._memory.get(key)
         if cached is not None:
             return cached
-        path = self._path(workload.name, cap)
+        path = self._path(workload.name, cap, optimize)
+        trace = None
         if path and os.path.exists(path):
-            trace = read_trace_file(path)
-        else:
-            trace = workload.trace(max_instructions=cap)
+            try:
+                trace = read_trace_file(path)
+            except TraceFormatError as error:
+                logger.warning(
+                    "stale trace cache %s (%s); regenerating", path, error
+                )
+                trace = None
+            else:
+                if len(trace) > cap:
+                    logger.warning(
+                        "trace cache %s holds %d records for cap %d; regenerating",
+                        path, len(trace), cap,
+                    )
+                    trace = None
+        if trace is None:
+            trace = workload.trace(max_instructions=cap, optimize=optimize)
             if path:
                 write_trace_file(path, trace)
         self._memory[key] = trace
         return trace
+
+    def ensure_on_disk(
+        self, workload, cap: int = DEFAULT_CAP, optimize: bool = False
+    ) -> Tuple[str, str]:
+        """Materialize a trace in the disk cache; returns ``(path, digest)``.
+
+        Used by the parallel engine: workers receive the path and load the
+        trace themselves, and the digest keys the result cache. When the
+        file already exists and is wanted cold (not yet in memory), only
+        its header is read — the digest comes for free without touching
+        the record stream.
+        """
+        if not self.directory:
+            raise ValueError("ensure_on_disk requires a disk-backed TraceStore")
+        if isinstance(workload, str):
+            workload = load_workload(workload)
+        path = self._path(workload.name, cap, optimize)
+        key = (workload.name, cap, optimize)
+        cached = self._memory.get(key)
+        if cached is not None:
+            digest = cached.digest()
+            on_disk = None
+            if os.path.exists(path):
+                try:
+                    on_disk = read_trace_digest(path)
+                except TraceFormatError:
+                    on_disk = None
+            if on_disk != digest:
+                write_trace_file(path, cached)
+            return path, digest
+        if os.path.exists(path):
+            try:
+                return path, read_trace_digest(path)
+            except TraceFormatError as error:
+                logger.warning(
+                    "stale trace cache %s (%s); regenerating", path, error
+                )
+        trace = self.trace(workload, cap, optimize)
+        return path, trace.digest()
 
     def full_run_length(self, workload) -> int:
         """Dynamic instruction count of the complete (untraced) run — the

@@ -22,14 +22,31 @@ class TraceBuffer:
     ):
         self.records: List[TraceRecord] = list(records) if records is not None else []
         self.segments = segments
+        #: Cached content digest; invalidated on mutation.
+        self._digest: Optional[str] = None
 
     def append(self, record: TraceRecord) -> None:
         """Append one record."""
         self.records.append(record)
+        self._digest = None
 
     def extend(self, records: Iterable[TraceRecord]) -> None:
         """Append many records."""
         self.records.extend(records)
+        self._digest = None
+
+    def digest(self) -> str:
+        """Stable content digest over segments and records — equal to the
+        digest embedded in this trace's on-disk file header, and the
+        trace half of every engine result-cache key. Cached; the cache is
+        dropped on append/extend (hot appends go straight to
+        :attr:`records`, so mutate-then-digest callers should not rely on
+        the cache anyway — the engine digests only finished traces)."""
+        if self._digest is None:
+            from repro.trace.io import trace_digest
+
+            self._digest = trace_digest(self)
+        return self._digest
 
     def __len__(self) -> int:
         return len(self.records)

@@ -1,16 +1,21 @@
 """Binary trace file format (streaming reader/writer).
 
 The paper's Pixie traces were produced once and analyzed many times under
-different Paragraph configurations; this module plays the same role. The
-format is deliberately simple:
+different Paragraph configurations; this module plays the same role. Because
+cached trace files feed every experiment (and, since the parallel engine,
+every worker process), the format carries a content digest: a stale,
+truncated, or corrupted cache file fails loudly at read time instead of
+silently skewing results.
 
 Header (little-endian)::
 
-    magic   4 bytes  b"PGT1"
+    magic   4 bytes  b"PGT2"
+    u32     format version (currently 2)
     u32     data_base (words)
     u32     stack_floor (words)
     u32     stack_top (words)
     u64     record count
+    32 B    sha256 digest of (segments, count, record stream)
 
 Each record::
 
@@ -21,24 +26,64 @@ Each record::
     i32  aux
     u32  * nsrcs   source locations
     u32  * ndests  destination locations
+
+The digest covers the packed segment fields, the record count, and every
+record byte — the full logical content of the trace — so
+:meth:`repro.trace.buffer.TraceBuffer.digest` (computed in memory) and the
+header digest of a written file always agree.
 """
 
 from __future__ import annotations
 
+import hashlib
 import struct
-from typing import BinaryIO, Iterable, Iterator
+from typing import BinaryIO, Iterable, Iterator, Optional, Tuple
 
 from repro.trace.buffer import TraceBuffer
 from repro.trace.record import TraceRecord
 from repro.trace.segments import SegmentMap
 
-MAGIC = b"PGT1"
-_HEADER = struct.Struct("<4sIIIQ")
+MAGIC = b"PGT2"
+#: Magic of the pre-digest format, recognized only to give a clear error.
+LEGACY_MAGIC = b"PGT1"
+FORMAT_VERSION = 2
+_HEADER = struct.Struct("<4sIIIIQ32s")
+_DIGEST_SEED = struct.Struct("<IIIQ")
 _REC_HEAD = struct.Struct("<BBBBi")
 
 
 class TraceFormatError(Exception):
-    """Raised when a trace file is malformed."""
+    """Raised when a trace file is malformed, truncated, or corrupted."""
+
+
+def _digest_hasher(segments: SegmentMap, count: int) -> "hashlib._Hash":
+    """A sha256 hasher seeded with the segment map and record count."""
+    hasher = hashlib.sha256()
+    hasher.update(
+        _DIGEST_SEED.pack(
+            segments.data_base, segments.stack_floor, segments.stack_top, count
+        )
+    )
+    return hasher
+
+
+def _pack_record(record: TraceRecord) -> bytes:
+    opclass, srcs, dests, flags, aux = record
+    nsrcs = len(srcs)
+    ndests = len(dests)
+    head = _REC_HEAD.pack(opclass, flags, nsrcs, ndests, aux)
+    if nsrcs + ndests:
+        return head + struct.pack(f"<{nsrcs + ndests}I", *srcs, *dests)
+    return head
+
+
+def trace_digest(trace: TraceBuffer) -> str:
+    """Content digest of an in-memory trace: identical to the digest embedded
+    in the header when the same trace is written to disk."""
+    hasher = _digest_hasher(trace.segments, len(trace))
+    for record in trace.records:
+        hasher.update(_pack_record(record))
+    return hasher.hexdigest()
 
 
 def write_trace(
@@ -46,44 +91,100 @@ def write_trace(
     records: Iterable[TraceRecord],
     segments: SegmentMap,
     count: int,
-) -> None:
-    """Write a trace. ``count`` must equal the number of records."""
+) -> str:
+    """Write a trace to a seekable stream; returns the content digest.
+
+    ``count`` must equal the number of records. The header is written first
+    with a zero digest and patched once the record stream (and therefore the
+    digest) is complete, so records are never buffered in memory.
+    """
+    header_pos = stream.tell()
     stream.write(
-        _HEADER.pack(MAGIC, segments.data_base, segments.stack_floor, segments.stack_top, count)
+        _HEADER.pack(
+            MAGIC,
+            FORMAT_VERSION,
+            segments.data_base,
+            segments.stack_floor,
+            segments.stack_top,
+            count,
+            b"\x00" * 32,
+        )
     )
-    pack_head = _REC_HEAD.pack
-    pack_loc = struct.Struct("<I").pack
+    hasher = _digest_hasher(segments, count)
     written = 0
-    for opclass, srcs, dests, flags, aux in records:
-        stream.write(pack_head(opclass, flags, len(srcs), len(dests), aux))
-        for loc in srcs:
-            stream.write(pack_loc(loc))
-        for loc in dests:
-            stream.write(pack_loc(loc))
+    for record in records:
+        packed = _pack_record(record)
+        hasher.update(packed)
+        stream.write(packed)
         written += 1
     if written != count:
         raise TraceFormatError(f"record count mismatch: promised {count}, wrote {written}")
+    digest = hasher.digest()
+    end = stream.tell()
+    stream.seek(header_pos)
+    stream.write(
+        _HEADER.pack(
+            MAGIC,
+            FORMAT_VERSION,
+            segments.data_base,
+            segments.stack_floor,
+            segments.stack_top,
+            count,
+            digest,
+        )
+    )
+    stream.seek(end)
+    return digest.hex()
 
 
-def write_trace_file(path, trace: TraceBuffer) -> None:
-    """Write an in-memory trace buffer to ``path``."""
+def write_trace_file(path, trace: TraceBuffer) -> str:
+    """Write an in-memory trace buffer to ``path``; returns its digest."""
     with open(path, "wb") as stream:
-        write_trace(stream, trace.records, trace.segments, len(trace))
+        return write_trace(stream, trace.records, trace.segments, len(trace))
 
 
-def read_header(stream: BinaryIO):
-    """Read and validate the header; returns ``(segments, count)``."""
+def read_header(stream: BinaryIO) -> Tuple[SegmentMap, int, str]:
+    """Read and validate the header; returns ``(segments, count, digest)``."""
     raw = stream.read(_HEADER.size)
+    if len(raw) < len(MAGIC):
+        raise TraceFormatError("truncated header")
+    if raw[:4] == LEGACY_MAGIC:
+        raise TraceFormatError(
+            "legacy PGT1 trace file (no content digest); regenerate the "
+            "trace cache with this version"
+        )
     if len(raw) != _HEADER.size:
         raise TraceFormatError("truncated header")
-    magic, data_base, stack_floor, stack_top, count = _HEADER.unpack(raw)
+    magic, version, data_base, stack_floor, stack_top, count, digest = _HEADER.unpack(raw)
     if magic != MAGIC:
         raise TraceFormatError(f"bad magic: {magic!r}")
-    return SegmentMap(data_base=data_base, stack_floor=stack_floor, stack_top=stack_top), count
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {version} (expected {FORMAT_VERSION})"
+        )
+    segments = SegmentMap(
+        data_base=data_base, stack_floor=stack_floor, stack_top=stack_top
+    )
+    return segments, count, digest.hex()
 
 
-def iter_trace(stream: BinaryIO) -> Iterator[TraceRecord]:
-    """Stream records from an open trace file positioned after the header."""
+def read_trace_digest(path) -> str:
+    """The content digest recorded in a trace file's header (header-only
+    read: the engine uses this to key result caches without loading
+    hundreds of thousands of records)."""
+    with open(path, "rb") as stream:
+        _, _, digest = read_header(stream)
+    return digest
+
+
+def iter_trace(
+    stream: BinaryIO, hasher: Optional["hashlib._Hash"] = None
+) -> Iterator[TraceRecord]:
+    """Stream records from an open trace file positioned after the header.
+
+    When ``hasher`` is given, every raw record byte is fed to it so the
+    caller can verify the header digest after exhausting the iterator.
+    """
     read = stream.read
     unpack_head = _REC_HEAD.unpack
     head_size = _REC_HEAD.size
@@ -97,6 +198,9 @@ def iter_trace(stream: BinaryIO) -> Iterator[TraceRecord]:
         body = read(4 * (nsrcs + ndests))
         if len(body) != 4 * (nsrcs + ndests):
             raise TraceFormatError("truncated record body")
+        if hasher is not None:
+            hasher.update(raw)
+            hasher.update(body)
         all_locs = struct.unpack(f"<{nsrcs + ndests}I", body) if nsrcs + ndests else ()
         srcs = all_locs[:nsrcs]
         dests = all_locs[nsrcs:]
@@ -104,10 +208,19 @@ def iter_trace(stream: BinaryIO) -> Iterator[TraceRecord]:
 
 
 def read_trace_file(path) -> TraceBuffer:
-    """Read a whole trace file into a :class:`TraceBuffer`."""
+    """Read a whole trace file into a :class:`TraceBuffer`, verifying the
+    record count and content digest; any mismatch raises
+    :class:`TraceFormatError` rather than returning corrupt data."""
     with open(path, "rb") as stream:
-        segments, count = read_header(stream)
-        records = list(iter_trace(stream))
+        segments, count, digest = read_header(stream)
+        hasher = _digest_hasher(segments, count)
+        records = list(iter_trace(stream, hasher))
     if len(records) != count:
         raise TraceFormatError(f"header promised {count} records, file holds {len(records)}")
-    return TraceBuffer(records, segments)
+    if hasher.hexdigest() != digest:
+        raise TraceFormatError(
+            f"trace digest mismatch in {path}: file is stale or corrupted"
+        )
+    trace = TraceBuffer(records, segments)
+    trace._digest = digest
+    return trace

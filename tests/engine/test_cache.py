@@ -1,0 +1,79 @@
+"""Result cache hit/miss behavior."""
+
+import json
+import os
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.engine.cache import SCHEMA_VERSION, ResultCache, cache_key
+from repro.engine.jobs import AnalysisJob
+from repro.engine.serialize import result_to_bytes
+from repro.trace.synthetic import random_trace
+
+TRACE = random_trace(seed=5, length=1500)
+DIGEST = TRACE.digest()
+
+
+def _job(**kwargs):
+    return AnalysisJob("cc1x", 1500, kwargs.pop("config", AnalysisConfig()), **kwargs)
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        assert cache_key(DIGEST, _job()) == cache_key(DIGEST, _job())
+
+    def test_key_varies_with_trace_and_job(self):
+        other_digest = random_trace(seed=6, length=1500).digest()
+        assert cache_key(DIGEST, _job()) != cache_key(other_digest, _job())
+        assert cache_key(DIGEST, _job()) != cache_key(
+            DIGEST, _job(config=AnalysisConfig(window_size=2))
+        )
+
+
+class TestStoreLoad:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = _job()
+        result = analyze(TRACE, job.config)
+        key = cache_key(DIGEST, job)
+        cache.store(key, DIGEST, job, result)
+        loaded = cache.load(key)
+        assert result_to_bytes(loaded) == result_to_bytes(result)
+        assert cache.hits == 1 and cache.misses == 0
+        assert len(cache) == 1
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.load(cache_key(DIGEST, _job())) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = _job()
+        key = cache_key(DIGEST, job)
+        cache.store(key, DIGEST, job, analyze(TRACE, job.config))
+        path = os.path.join(str(tmp_path), f"{key}.json")
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        assert cache.load(key) is None
+        assert not os.path.exists(path)
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = _job()
+        key = cache_key(DIGEST, job)
+        cache.store(key, DIGEST, job, analyze(TRACE, job.config))
+        path = os.path.join(str(tmp_path), f"{key}.json")
+        entry = json.load(open(path))
+        entry["schema"] = SCHEMA_VERSION + 1
+        json.dump(entry, open(path, "w"))
+        assert cache.load(key) is None
+
+    def test_entry_records_provenance(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = _job()
+        key = cache_key(DIGEST, job)
+        cache.store(key, DIGEST, job, analyze(TRACE, job.config))
+        entry = json.load(open(os.path.join(str(tmp_path), f"{key}.json")))
+        assert entry["trace_digest"] == DIGEST
+        assert entry["job"] == job.canonical()

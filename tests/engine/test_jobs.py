@@ -1,0 +1,114 @@
+"""Job specs and stable digests."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import OPTIMISTIC, AnalysisConfig
+from repro.core.latency import LatencyTable
+from repro.core.resources import ResourceModel
+from repro.engine.jobs import AnalysisJob
+from repro.isa.opclasses import OpClass
+
+
+class TestConfigDigest:
+    def test_equal_configs_equal_digests(self):
+        assert AnalysisConfig().digest() == AnalysisConfig().digest()
+
+    def test_every_switch_changes_digest(self):
+        base = AnalysisConfig()
+        variants = [
+            AnalysisConfig(syscall_policy=OPTIMISTIC),
+            AnalysisConfig(rename_registers=False),
+            AnalysisConfig(rename_stack=False),
+            AnalysisConfig(rename_data=False),
+            AnalysisConfig(window_size=64),
+            AnalysisConfig(latency=LatencyTable.unit()),
+            AnalysisConfig(resources=ResourceModel(universal=4)),
+            AnalysisConfig(branch_predictor="gshare"),
+            AnalysisConfig(memory_disambiguation="conservative"),
+            AnalysisConfig(collect_lifetimes=True),
+            AnalysisConfig(collect_profile=False),
+        ]
+        digests = {config.digest() for config in variants}
+        assert len(digests) == len(variants)
+        assert base.digest() not in digests
+
+    def test_canonical_round_trip(self):
+        config = AnalysisConfig(
+            syscall_policy=OPTIMISTIC,
+            window_size=256,
+            latency=LatencyTable.default().with_overrides(IMUL=3),
+            resources=ResourceModel(universal=8, per_class={OpClass.FMUL: 2}),
+            branch_predictor="bimodal",
+            memory_disambiguation="conservative",
+            collect_lifetimes=True,
+        )
+        restored = AnalysisConfig.from_canonical(config.canonical())
+        assert restored == config
+        assert restored.digest() == config.digest()
+
+    def test_digest_stable_across_interpreters(self):
+        """The digest must not depend on PYTHONHASHSEED or any per-process
+        state: a worker and its parent must agree on cache keys."""
+        script = (
+            "from repro.core.config import AnalysisConfig; "
+            "print(AnalysisConfig(window_size=64).digest())"
+        )
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout.strip()
+            for seed in ("0", "12345")
+        }
+        assert runs == {AnalysisConfig(window_size=64).digest()}
+
+
+class TestAnalysisJob:
+    def test_round_trip(self):
+        job = AnalysisJob(
+            "cc1x", 5000, AnalysisConfig(window_size=16), method="twopass", optimize=True
+        )
+        restored = AnalysisJob.from_canonical(job.canonical())
+        assert restored == job
+        assert restored.digest() == job.digest()
+
+    def test_wire_form_is_json_safe(self):
+        job = AnalysisJob("cc1x", 5000, AnalysisConfig(resources=ResourceModel(universal=2)))
+        assert AnalysisJob.from_canonical(json.loads(json.dumps(job.canonical()))) == job
+
+    def test_digest_covers_every_axis(self):
+        base = AnalysisJob("cc1x", 5000)
+        variants = [
+            AnalysisJob("xlispx", 5000),
+            AnalysisJob("cc1x", 6000),
+            AnalysisJob("cc1x", 5000, AnalysisConfig(window_size=4)),
+            AnalysisJob("cc1x", 5000, method="twopass"),
+            AnalysisJob("cc1x", 5000, optimize=True),
+        ]
+        digests = {job.digest() for job in variants}
+        assert len(digests) == len(variants)
+        assert base.digest() not in digests
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown analysis method"):
+            AnalysisJob("cc1x", 100, method="sideways")
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError, match="cap must be"):
+            AnalysisJob("cc1x", 0)
+
+    def test_trace_key_ignores_config(self):
+        one = AnalysisJob("cc1x", 100, AnalysisConfig())
+        two = AnalysisJob("cc1x", 100, AnalysisConfig(window_size=8))
+        assert one.trace_key == two.trace_key
+
+    def test_describe_mentions_extras(self):
+        text = AnalysisJob("cc1x", 100, method="twopass", optimize=True).describe()
+        assert "twopass" in text and "optimized" in text

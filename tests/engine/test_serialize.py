@@ -1,0 +1,63 @@
+"""Exact result serialization round-trips."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.config import AnalysisConfig
+from repro.core.twopass import twopass_analyze
+from repro.engine.serialize import result_from_dict, result_to_bytes, result_to_dict
+from repro.trace.synthetic import random_trace
+
+
+def _results_equal(left, right) -> bool:
+    return result_to_bytes(left) == result_to_bytes(right)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return random_trace(seed=42, length=2000)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            AnalysisConfig(),
+            AnalysisConfig(collect_lifetimes=True),
+            AnalysisConfig(collect_profile=False),
+            AnalysisConfig(window_size=32, branch_predictor="gshare"),
+        ],
+        ids=["default", "lifetimes", "no-profile", "windowed-predicted"],
+    )
+    def test_forward_round_trip(self, trace, config):
+        result = analyze(trace, config)
+        restored = result_from_dict(result_to_dict(result))
+        assert _results_equal(result, restored)
+        # the scalar surface the tables read must match exactly
+        assert restored.available_parallelism == result.available_parallelism
+        assert restored.critical_path_length == result.critical_path_length
+        assert restored.peak_live_well == result.peak_live_well
+        assert restored.config == result.config
+
+    def test_twopass_round_trip(self, trace):
+        result = twopass_analyze(trace, AnalysisConfig())
+        restored = result_from_dict(result_to_dict(result))
+        assert _results_equal(result, restored)
+
+    def test_profile_survives_exactly(self, trace):
+        result = analyze(trace, AnalysisConfig())
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.profile.counts == result.profile.counts
+        assert isinstance(next(iter(restored.profile.counts)), int)
+
+    def test_lifetimes_survive_exactly(self, trace):
+        result = analyze(trace, AnalysisConfig(collect_lifetimes=True))
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.lifetimes.lifetime_histogram == result.lifetimes.lifetime_histogram
+        assert restored.lifetimes.sharing_histogram == result.lifetimes.sharing_histogram
+
+    def test_bytes_are_canonical(self, trace):
+        result = analyze(trace, AnalysisConfig())
+        assert result_to_bytes(result) == result_to_bytes(
+            result_from_dict(result_to_dict(result))
+        )

@@ -1,16 +1,22 @@
 """Binary trace file format."""
 
 import io
+import struct
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.trace.buffer import TraceBuffer
 from repro.trace.io import (
+    FORMAT_VERSION,
+    LEGACY_MAGIC,
+    MAGIC,
     TraceFormatError,
     iter_trace,
     read_header,
+    read_trace_digest,
     read_trace_file,
+    trace_digest,
     write_trace,
     write_trace_file,
 )
@@ -47,18 +53,57 @@ class TestRoundTrip:
         stream = io.BytesIO()
         write_trace(stream, trace.records, trace.segments, len(trace))
         stream.seek(0)
-        segments, count = read_header(stream)
+        segments, count, digest = read_header(stream)
         records = list(iter_trace(stream))
         assert count == length
         assert records == trace.records
         assert segments == trace.segments
+        assert digest == trace_digest(trace)
+
+
+class TestDigest:
+    def test_write_returns_header_digest(self, tmp_path):
+        trace = random_trace(seed=7, length=120)
+        path = tmp_path / "d.pgt"
+        written = write_trace_file(path, trace)
+        assert written == read_trace_digest(path) == trace.digest()
+
+    def test_digest_distinguishes_content(self):
+        base = random_trace(seed=8, length=60)
+        other = random_trace(seed=9, length=60)
+        assert trace_digest(base) != trace_digest(other)
+
+    def test_digest_covers_segments(self):
+        records = random_trace(seed=10, length=40).records
+        one = TraceBuffer(records, SegmentMap(data_base=16, stack_floor=512, stack_top=1024))
+        two = TraceBuffer(records, SegmentMap(data_base=32, stack_floor=512, stack_top=1024))
+        assert trace_digest(one) != trace_digest(two)
+
+    def test_buffer_digest_invalidated_on_append(self):
+        trace = random_trace(seed=11, length=30)
+        before = trace.digest()
+        trace.append(make_record(0, (1,), (2,)))
+        assert trace.digest() != before
 
 
 class TestErrors:
     def test_bad_magic(self):
-        stream = io.BytesIO(b"NOPE" + b"\x00" * 20)
+        stream = io.BytesIO(b"NOPE" + b"\x00" * 60)
         with pytest.raises(TraceFormatError, match="bad magic"):
             read_header(stream)
+
+    def test_legacy_format_rejected_loudly(self):
+        stream = io.BytesIO(LEGACY_MAGIC + b"\x00" * 60)
+        with pytest.raises(TraceFormatError, match="legacy PGT1"):
+            read_header(stream)
+
+    def test_future_version_rejected(self):
+        raw = bytearray()
+        raw += struct.pack(
+            "<4sIIIIQ32s", MAGIC, FORMAT_VERSION + 1, 0, 0, 0, 0, b"\x00" * 32
+        )
+        with pytest.raises(TraceFormatError, match="unsupported trace format version"):
+            read_header(io.BytesIO(bytes(raw)))
 
     def test_truncated_header(self):
         with pytest.raises(TraceFormatError, match="truncated header"):
@@ -71,6 +116,17 @@ class TestErrors:
         data = path.read_bytes()
         path.write_bytes(data[:-3])
         with pytest.raises(TraceFormatError):
+            read_trace_file(path)
+
+    def test_corrupted_record_fails_digest(self, tmp_path):
+        trace = random_trace(seed=4, length=80)
+        path = tmp_path / "corrupt.pgt"
+        write_trace_file(path, trace)
+        data = bytearray(path.read_bytes())
+        # flip a bit beyond the header, inside some record's aux field
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="digest mismatch"):
             read_trace_file(path)
 
     def test_count_mismatch_on_write(self):
