@@ -1,17 +1,37 @@
 """Tool throughput microbenchmarks (the paper quotes ~10 hours per 100M-
-instruction analysis on a DECstation 3100; these measure our stack)."""
+instruction analysis on a DECstation 3100; these measure our stack).
+
+The ``test_analyzer_*`` / ``test_columnar_*`` pairs time the legacy
+tuple-per-record analyzer against the columnar kernels on the same
+100k-record espressox trace; the committed baseline numbers live in
+``benchmarks/BENCH_throughput.json``. To refresh it after kernel work::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_throughput.py \\
+        --benchmark-json=benchmarks/BENCH_throughput.json -q
+"""
 
 import pytest
 
 from repro.core.analyzer import analyze
 from repro.core.config import AnalysisConfig
+from repro.core.kernels import analyze_columnar
 from repro.cpu.machine import Machine
+from repro.trace.columnar import ColumnarTrace
 from repro.workloads.suite import load_workload
 
 
 @pytest.fixture(scope="module")
 def bench_trace(store):
     return store.trace("espressox", 100_000)
+
+
+@pytest.fixture(scope="module")
+def bench_columnar(store):
+    trace = store.columnar("espressox", 100_000)
+    # Trace statistics are cached per trace, not part of a kernel run.
+    trace.census()
+    trace.operand_counts()
+    return trace
 
 
 def test_analyzer_throughput_full_renaming(benchmark, bench_trace):
@@ -27,6 +47,31 @@ def test_analyzer_throughput_no_renaming(benchmark, bench_trace):
 def test_analyzer_throughput_windowed(benchmark, bench_trace):
     result = benchmark(analyze, bench_trace, AnalysisConfig(window_size=1024))
     assert result.records_processed == 100_000
+
+
+def test_columnar_throughput_dataflow_kernel(benchmark, bench_columnar):
+    result = benchmark(analyze_columnar, bench_columnar, AnalysisConfig())
+    assert result.records_processed == 100_000
+
+
+def test_columnar_throughput_windowed_kernel(benchmark, bench_columnar):
+    result = benchmark(
+        analyze_columnar, bench_columnar, AnalysisConfig(window_size=1024)
+    )
+    assert result.records_processed == 100_000
+
+
+def test_columnar_throughput_generic_kernel(benchmark, bench_columnar):
+    result = benchmark(
+        analyze_columnar, bench_columnar, AnalysisConfig.no_renaming()
+    )
+    assert result.records_processed == 100_000
+
+
+def test_columnar_decode_from_file(benchmark, store, bench_trace):
+    path, _ = store.ensure_on_disk("espressox", 100_000)
+    trace = benchmark(ColumnarTrace.from_file, path)
+    assert len(trace) == 100_000
 
 
 def test_simulator_throughput(benchmark):

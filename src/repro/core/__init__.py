@@ -2,7 +2,10 @@
 
 This package is the paper's primary contribution. Entry points:
 
-- :func:`analyze` — fast streaming forward pass (method 2).
+- :func:`analyze` — fast streaming forward pass (method 2); dispatches to
+  the columnar kernels when handed a
+  :class:`~repro.trace.columnar.ColumnarTrace`.
+- :func:`analyze_columnar` — config-specialized kernels over flat columns.
 - :func:`twopass_analyze` — reverse-then-forward pass (method 1).
 - :func:`reference_analyze` — readable reference implementation.
 - :func:`build_ddg` — explicit networkx DDG for small traces.
@@ -10,6 +13,7 @@ This package is the paper's primary contribution. Entry points:
 """
 
 from repro.core.analyzer import analyze
+from repro.core.kernels import analyze_columnar, select_kernel
 from repro.core.branch import PREDICTOR_NAMES, make_predictor
 from repro.core.config import (
     CONSERVATIVE,
@@ -32,6 +36,8 @@ from repro.core.twopass import compute_kill_lists, twopass_analyze
 
 __all__ = [
     "analyze",
+    "analyze_columnar",
+    "select_kernel",
     "PREDICTOR_NAMES",
     "make_predictor",
     "CONSERVATIVE",

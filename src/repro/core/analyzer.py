@@ -42,6 +42,7 @@ from repro.core.resources import ResourceState
 from repro.core.results import AnalysisResult
 from repro.isa.locations import MEM_BASE
 from repro.isa.opclasses import OpClass
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.record import FLAG_CONDITIONAL, FLAG_TAKEN
 from repro.trace.segments import DEFAULT_SEGMENTS, SegmentMap
 
@@ -71,6 +72,16 @@ def analyze(
     """
     if config is None:
         config = AnalysisConfig()
+    if isinstance(trace, ColumnarTrace):
+        from repro.core.kernels import KERNEL_GENERIC, analyze_columnar, select_kernel
+
+        if select_kernel(config) != KERNEL_GENERIC:
+            return analyze_columnar(trace, config, segments)
+        # Generic configs revisit every operand 2-3 times per record, which
+        # tuple records serve better than flat columns (the tuples hold the
+        # operands already boxed). The materialization is memoized, so a
+        # grid of generic jobs against one shared trace pays it once.
+        trace = trace.to_buffer()
     if segments is None:
         segments = getattr(trace, "segments", DEFAULT_SEGMENTS)
 
@@ -111,7 +122,6 @@ def analyze(
     firewalls = 0
     branches = 0
     mispredictions = 0
-    peak = 0
 
     for record in trace:
         records_processed += 1
@@ -250,9 +260,6 @@ def analyze(
                 lifetimes.record(old_entry[1] - old_entry[0] if used else 0, used)
             well[dest] = [level, never, 0, False]
 
-        size = len(well)
-        if size > peak:
-            peak = size
         if ring is not None:
             ring[ring_pos] = level
             ring_pos += 1
@@ -265,8 +272,9 @@ def analyze(
                 used = entry[2]
                 lifetimes.record(entry[1] - entry[0] if used else 0, used)
 
-    if len(well) > peak:
-        peak = len(well)
+    # The well only ever grows (a brand-new dest/src key is the sole size
+    # change), so its final size is its peak — no per-record len() probe.
+    peak = len(well)
 
     return AnalysisResult(
         records_processed=records_processed,

@@ -34,6 +34,9 @@ class ExperimentEngine:
         jobs: worker process count; 1 = in-process serial execution.
         result_cache: optional :class:`ResultCache` (or a directory path).
         timeout: optional per-job wall-clock limit in seconds.
+        shared_memory: share each distinct columnar trace with workers via
+            one ``multiprocessing.shared_memory`` block (default); when
+            off, workers decode traces from the on-disk cache instead.
         telemetry: cumulative :class:`EngineTelemetry` across grids.
     """
 
@@ -45,6 +48,7 @@ class ExperimentEngine:
         timeout: Optional[float] = None,
         progress: Optional[ProgressListener] = None,
         start_method: Optional[str] = None,
+        shared_memory: bool = True,
     ):
         if store is None:
             from repro.harness.runner import TraceStore
@@ -58,6 +62,7 @@ class ExperimentEngine:
         self.jobs = jobs
         self.result_cache = result_cache
         self.timeout = timeout
+        self.shared_memory = shared_memory
         self.telemetry = EngineTelemetry()
         self._progress = progress
         self._start_method = start_method
@@ -88,6 +93,7 @@ class ExperimentEngine:
             timeout=self.timeout,
             progress=fanout(self.telemetry, self._progress),
             start_method=self._start_method,
+            shared_memory=self.shared_memory,
         )
 
     def analyze_grid(self, grid: Sequence[AnalysisJob]) -> List[AnalysisResult]:

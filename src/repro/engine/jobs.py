@@ -25,6 +25,7 @@ from repro.core.config import AnalysisConfig
 from repro.core.results import AnalysisResult
 from repro.core.twopass import twopass_analyze
 from repro.trace.buffer import TraceBuffer
+from repro.trace.columnar import ColumnarTrace
 
 #: Analysis methods a job may request. Values take ``(trace, config)`` and
 #: return an :class:`AnalysisResult`; both entries produce identical results
@@ -113,6 +114,21 @@ class AnalysisJob:
         jobs sharing a trace key share one cached trace load per worker."""
         return (self.workload, self.cap, self.optimize)
 
-    def run(self, trace: TraceBuffer) -> AnalysisResult:
-        """Execute this job against an already-loaded trace."""
+    @property
+    def prefers_columnar(self) -> bool:
+        """True when the job's method runs fastest on a
+        :class:`~repro.trace.columnar.ColumnarTrace` (the forward analyzer
+        dispatches to the config-specialized kernels); the two-pass method
+        needs the materialized record list for its reverse scan."""
+        return self.method == "forward"
+
+    def run(self, trace) -> AnalysisResult:
+        """Execute this job against an already-loaded trace.
+
+        Accepts either representation: a columnar trace is handed straight
+        to the kernel dispatcher for forward analyses and materialized back
+        to a record buffer for methods that need one.
+        """
+        if isinstance(trace, ColumnarTrace) and not self.prefers_columnar:
+            trace = trace.to_buffer()
         return METHODS[self.method](trace, self.config)

@@ -1,11 +1,16 @@
 """Multiprocess job execution over the shared trace cache.
 
 Parallelization strategy: the parent materializes each distinct input trace
-in the on-disk trace cache *once* (via :meth:`TraceStore.ensure_on_disk`),
-then ships workers only job specs and trace file paths. Workers load traces
-from disk themselves — a multi-hundred-thousand-record buffer is never
-pickled per job — and keep a tiny per-process LRU of loaded traces, which
-the grid order (workload-major) keeps hot.
+*once* — in the on-disk trace cache (via :meth:`TraceStore.ensure_on_disk`,
+which keys the result cache) and, for the jobs that actually run, as a
+columnar trace in a ``multiprocessing.shared_memory`` block. Workers are
+shipped job specs plus a trace reference and attach the shared block
+zero-copy — a multi-hundred-thousand-record trace is never pickled per job
+and never decoded per worker. When shared memory is unavailable (or
+disabled) workers fall back to loading the ``.pgt`` file themselves,
+keeping a tiny per-process LRU of loaded traces which the grid order
+(workload-major) keeps hot. The parent owns every shared block and
+closes/unlinks them once the grid drains.
 
 Fault containment: every worker wraps job execution, so an analysis error
 returns a structured failure for that job while the rest of the grid
@@ -43,9 +48,11 @@ from repro.engine.progress import (
     ProgressListener,
 )
 from repro.engine.serialize import result_from_dict, result_to_dict
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.io import read_trace_file
 
-#: Traces an idle worker keeps loaded (grid order keeps this tiny LRU hot).
+#: Traces an idle worker keeps loaded/attached (grid order keeps this tiny
+#: LRU hot).
 _WORKER_TRACE_LRU = 2
 
 #: Seconds the scheduling loop sleeps waiting for worker messages between
@@ -122,27 +129,45 @@ def resolve_start_method(start_method: Optional[str] = None) -> str:
 # -- worker side ---------------------------------------------------------------
 
 
+def _load_trace(trace_ref: Tuple[str, str]):
+    """Resolve a ``(kind, target)`` trace reference: attach a shared-memory
+    columnar block zero-copy, or decode a ``.pgt`` file."""
+    kind, target = trace_ref
+    if kind == "shm":
+        return ColumnarTrace.from_shared_memory(target)
+    return read_trace_file(target)
+
+
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
-    """Worker loop: pull ``(index, job wire form, trace path)`` tasks until
-    the ``None`` sentinel. All state is rebuilt from the message contents."""
-    traces: "OrderedDict[str, object]" = OrderedDict()
+    """Worker loop: pull ``(index, job wire form, trace reference)`` tasks
+    until the ``None`` sentinel. All state is rebuilt from the message
+    contents."""
+    traces: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
     while True:
         task = task_queue.get()
         if task is None:
+            # Release shared-memory attachments before interpreter teardown:
+            # a SharedMemory finalized while column views are still exported
+            # raises (ignored but noisy) BufferErrors at exit.
+            for trace in traces.values():
+                if isinstance(trace, ColumnarTrace):
+                    trace.close()
             return
-        index, wire, trace_path = task
+        index, wire, trace_ref = task
         result_queue.put((JOB_STARTED, worker_id, index, None))
         start = time.perf_counter()
         try:
             job = AnalysisJob.from_canonical(wire)
-            trace = traces.get(trace_path)
+            trace = traces.get(trace_ref)
             if trace is None:
-                trace = read_trace_file(trace_path)
-                traces[trace_path] = trace
+                trace = _load_trace(trace_ref)
+                traces[trace_ref] = trace
                 while len(traces) > _WORKER_TRACE_LRU:
-                    traces.popitem(last=False)
+                    _, evicted = traces.popitem(last=False)
+                    if isinstance(evicted, ColumnarTrace):
+                        evicted.close()
             else:
-                traces.move_to_end(trace_path)
+                traces.move_to_end(trace_ref)
             result = job.run(trace)
             payload = (result_to_dict(result), time.perf_counter() - start)
             result_queue.put((JOB_DONE, worker_id, index, payload))
@@ -176,13 +201,18 @@ def execute_serial(
     """In-process execution — the ``--jobs 1`` path. No subprocesses, no
     serialization round-trips beyond the result cache: exceptions surface
     with their original tracebacks, which keeps this the debuggable
-    default."""
+    default. Forward analyses run on the store's columnar trace (the
+    config-specialized kernels) when the store provides one."""
     emit = progress or _null_listener
     total = len(jobs)
+    columnar = getattr(store, "columnar", None)
     outcomes: List[JobOutcome] = []
     for index, job in enumerate(jobs):
         try:
-            trace = store.trace(job.workload, job.cap, optimize=job.optimize)
+            if columnar is not None and job.prefers_columnar:
+                trace = columnar(job.workload, job.cap, optimize=job.optimize)
+            else:
+                trace = store.trace(job.workload, job.cap, optimize=job.optimize)
         except Exception as error:  # noqa: BLE001 - bad workload spec, not a crash
             outcome = JobOutcome(
                 index,
@@ -231,12 +261,16 @@ def execute_jobs(
     timeout: Optional[float] = None,
     progress: Optional[ProgressListener] = None,
     start_method: Optional[str] = None,
+    shared_memory: bool = True,
 ) -> List[JobOutcome]:
     """Execute a job grid, fanning out to ``njobs`` worker processes.
 
     Results come back in submission order regardless of completion order.
     ``njobs == 1`` (or a single-job grid) runs in-process via
-    :func:`execute_serial`.
+    :func:`execute_serial`. With ``shared_memory`` (the default) each
+    distinct input trace is packed once into a shared-memory columnar
+    block that workers attach zero-copy; disabling it (or any failure to
+    create a block) falls back to workers decoding the ``.pgt`` files.
     """
     if njobs < 1:
         raise ValueError(f"njobs must be >= 1, got {njobs}")
@@ -271,7 +305,7 @@ def execute_jobs(
             )
 
     # Resolve cache hits in the parent; only misses reach the pool.
-    tasks: List[Tuple[int, dict, str]] = []
+    pending_tasks: List[Tuple[int, AnalysisJob]] = []
     keys: Dict[int, Tuple[str, str]] = {}
     for index, job in enumerate(jobs):
         if job.trace_key in trace_errors:
@@ -287,9 +321,38 @@ def execute_jobs(
             continue
         if key is not None:
             keys[index] = (key, trace_digest)
-        tasks.append((index, job.canonical(), path))
-    if not tasks:
+        pending_tasks.append((index, job))
+    if not pending_tasks:
         return [outcome for outcome in outcomes if outcome is not None]
+
+    # One trace reference per distinct input: a shared-memory columnar
+    # block (workers attach zero-copy, nobody re-decodes the trace) with
+    # the .pgt path as the fallback reference. Blocks are owned by the
+    # parent and unlinked in the finally below once the grid drains.
+    shm_blocks: List[object] = []
+    trace_refs: Dict[tuple, Tuple[str, str]] = {}
+    columnar = getattr(store, "columnar", None) if shared_memory else None
+    for index, job in enumerate(jobs):
+        trace_key = job.trace_key
+        if outcomes[index] is not None or trace_key in trace_refs:
+            continue
+        path, _ = trace_files[trace_key]
+        ref = ("path", path)
+        if columnar is not None:
+            try:
+                block = columnar(
+                    job.workload, job.cap, optimize=job.optimize
+                ).to_shared_memory()
+            except Exception:  # noqa: BLE001 - shm is an optimization, not a requirement
+                pass
+            else:
+                shm_blocks.append(block)
+                ref = ("shm", block.name)
+        trace_refs[trace_key] = ref
+    tasks: List[Tuple[int, dict, Tuple[str, str]]] = [
+        (index, job.canonical(), trace_refs[job.trace_key])
+        for index, job in pending_tasks
+    ]
 
     context = multiprocessing.get_context(resolve_start_method(start_method))
     task_queue = context.Queue()
@@ -468,5 +531,11 @@ def execute_jobs(
         task_queue.cancel_join_thread()
         result_queue.close()
         result_queue.cancel_join_thread()
+        for block in shm_blocks:
+            try:
+                block.close()
+                block.unlink()
+            except OSError:  # already gone (e.g. external cleanup)
+                pass
 
     return [outcome for outcome in outcomes if outcome is not None]

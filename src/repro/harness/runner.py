@@ -21,6 +21,7 @@ import os
 from typing import Dict, Optional, Tuple
 
 from repro.trace.buffer import TraceBuffer
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.io import (
     TraceFormatError,
     read_trace_digest,
@@ -42,6 +43,7 @@ class TraceStore:
     def __init__(self, directory: Optional[str] = None):
         self.directory = directory
         self._memory: Dict[Tuple[str, int, bool], TraceBuffer] = {}
+        self._columnar: Dict[Tuple[str, int, bool], ColumnarTrace] = {}
         self._lengths: Dict[str, int] = {}
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -90,6 +92,48 @@ class TraceStore:
                 write_trace_file(path, trace)
         self._memory[key] = trace
         return trace
+
+    def columnar(
+        self, workload, cap: int = DEFAULT_CAP, optimize: bool = False
+    ) -> ColumnarTrace:
+        """The columnar form of a workload trace, cached per store.
+
+        Built by flattening the in-memory buffer when one exists, else
+        decoded straight from the on-disk ``.pgt`` file (no per-record
+        tuples); a missing or stale file falls back through :meth:`trace`,
+        which regenerates it. Either way the content digest is the same as
+        the buffer/file digest, so result-cache keys are representation-
+        independent.
+        """
+        name = workload if isinstance(workload, str) else workload.name
+        key = (name, cap, optimize)
+        cached = self._columnar.get(key)
+        if cached is not None:
+            return cached
+        columnar = None
+        buffer = self._memory.get(key)
+        if buffer is not None:
+            columnar = ColumnarTrace.from_buffer(buffer)
+        else:
+            path = self._path(name, cap, optimize)
+            if path and os.path.exists(path):
+                try:
+                    columnar = ColumnarTrace.from_file(path)
+                except TraceFormatError as error:
+                    logger.warning(
+                        "stale trace cache %s (%s); regenerating", path, error
+                    )
+                else:
+                    if len(columnar) > cap:
+                        logger.warning(
+                            "trace cache %s holds %d records for cap %d; regenerating",
+                            path, len(columnar), cap,
+                        )
+                        columnar = None
+            if columnar is None:
+                columnar = ColumnarTrace.from_buffer(self.trace(workload, cap, optimize))
+        self._columnar[key] = columnar
+        return columnar
 
     def ensure_on_disk(
         self, workload, cap: int = DEFAULT_CAP, optimize: bool = False

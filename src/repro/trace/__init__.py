@@ -1,6 +1,7 @@
 """Trace layer: record format, buffers, binary IO, statistics, synthesis."""
 
 from repro.trace.buffer import TraceBuffer
+from repro.trace.columnar import ColumnarTrace, SharedTraceError
 from repro.trace.io import read_trace_file, write_trace_file
 from repro.trace.record import (
     FLAG_CONDITIONAL,
@@ -20,6 +21,8 @@ from repro.trace.synthetic import TraceBuilder, independent_ops, random_trace, s
 
 __all__ = [
     "TraceBuffer",
+    "ColumnarTrace",
+    "SharedTraceError",
     "read_trace_file",
     "write_trace_file",
     "FLAG_CONDITIONAL",

@@ -1,5 +1,7 @@
 """Engine end-to-end: parallel determinism, caching, fault containment."""
 
+import os
+
 import pytest
 
 from repro.core.config import OPTIMISTIC, AnalysisConfig
@@ -61,6 +63,70 @@ class TestParallelDeterminism:
         results = engine.analyze_grid(grid())
         assert [result_to_bytes(result) for result in results] == serial_bytes
         assert engine.store.directory  # engine attached a scratch cache
+
+
+class TestSharedTraceReuse:
+    def test_each_workload_decoded_once_in_parent(
+        self, serial_bytes, tmp_path, monkeypatch
+    ):
+        """A ``--jobs 4`` grid must decode each distinct workload trace at
+        most once — in the parent, into the shared-memory columnar block —
+        and workers must attach that block instead of re-decoding the
+        ``.pgt`` file per process."""
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("decode counting via inherited patches needs fork")
+
+        trace_dir = str(tmp_path / "traces")
+        warm = TraceStore(trace_dir)
+        for workload in WORKLOADS:
+            warm.ensure_on_disk(workload, CAP)
+
+        # Count decodes by appending to a file: append writes survive fork,
+        # so worker-side decodes (there must be none) would show up too.
+        log = tmp_path / "decodes.log"
+
+        import repro.engine.pool as pool_module
+        import repro.harness.runner as runner_module
+        import repro.trace.io as io_module
+        from repro.trace.columnar import ColumnarTrace
+
+        original_from_file = ColumnarTrace.from_file.__func__
+
+        def counted_from_file(cls, path):
+            with open(log, "a") as handle:
+                handle.write(f"columnar {os.getpid()}\n")
+            return original_from_file(cls, path)
+
+        original_read = io_module.read_trace_file
+
+        def counted_read(path):
+            with open(log, "a") as handle:
+                handle.write(f"tuple {os.getpid()}\n")
+            return original_read(path)
+
+        monkeypatch.setattr(
+            ColumnarTrace, "from_file", classmethod(counted_from_file)
+        )
+        monkeypatch.setattr(pool_module, "read_trace_file", counted_read)
+        monkeypatch.setattr(runner_module, "read_trace_file", counted_read)
+
+        # Fresh store on the warm directory: nothing in memory, so every
+        # trace the grid needs has to come through a counted decode path.
+        engine = ExperimentEngine(
+            store=TraceStore(trace_dir), jobs=4, start_method="fork"
+        )
+        results = engine.analyze_grid(grid())
+        assert [result_to_bytes(result) for result in results] == serial_bytes
+
+        lines = log.read_text().splitlines()
+        columnar_decodes = [line for line in lines if line.startswith("columnar")]
+        tuple_decodes = [line for line in lines if line.startswith("tuple")]
+        parent = str(os.getpid())
+        # One columnar decode per distinct workload, all in the parent;
+        # workers attached shared memory and never touched a trace file.
+        assert len(columnar_decodes) == len(WORKLOADS)
+        assert all(line.split()[1] == parent for line in columnar_decodes)
+        assert tuple_decodes == []
 
 
 class TestResultCache:
@@ -128,7 +194,8 @@ class TestFaultContainment:
             store=TraceStore(str(tmp_path / "traces")), jobs=2, timeout=0.05
         )
         jobs = [
-            AnalysisJob("matrix300x", 120_000),  # far exceeds the limit
+            # Far exceeds the limit even on the columnar fast path.
+            AnalysisJob("matrix300x", 500_000),
             AnalysisJob("xlispx", CAP),
         ]
         outcomes = engine.run_grid(jobs)
@@ -143,7 +210,9 @@ class TestFaultContainment:
         engine = ExperimentEngine(
             store=TraceStore(str(tmp_path / "traces")), jobs=2, timeout=0.01
         )
-        jobs = [AnalysisJob(workload, 30_000) for workload in WORKLOADS]
+        # 200k records keep each job well over the limit even on the
+        # columnar fast path.
+        jobs = [AnalysisJob(workload, 200_000) for workload in WORKLOADS]
         outcomes = engine.run_grid(jobs)
         # Exactly one outcome per job — no crash, no hang, no dropped job.
         # (A job can still sneak to completion while the parent is busy
