@@ -13,7 +13,10 @@ Public surface:
 - :class:`AnalysisJob` — one (workload, cap, config) unit of work;
 - :class:`ResultCache` — content-addressed on-disk result cache;
 - :class:`JobOutcome` / :class:`JobFailedError` — per-job terminal states;
-- progress events and telemetry in :mod:`repro.engine.progress`.
+- progress events and telemetry in :mod:`repro.engine.progress`;
+- fault tolerance (retry/backoff, run journals, shm sweeps) in
+  :mod:`repro.engine.resilience`, and the deterministic fault-injection
+  harness that pins it in :mod:`repro.engine.faults`.
 """
 
 from repro.engine.api import ExperimentEngine
@@ -23,6 +26,7 @@ from repro.engine.pool import (
     EngineError,
     JobFailedError,
     JobOutcome,
+    PoolBrokenError,
     execute_jobs,
     execute_serial,
 )
@@ -31,6 +35,16 @@ from repro.engine.progress import (
     JobEvent,
     console_listener,
     fanout,
+)
+from repro.engine.resilience import (
+    PERMANENT,
+    TRANSIENT,
+    RetryPolicy,
+    RunJournal,
+    ShmManifest,
+    classify_failure,
+    execute_jobs_resilient,
+    sweep_stale_manifests,
 )
 
 __all__ = [
@@ -41,10 +55,19 @@ __all__ = [
     "JobEvent",
     "JobFailedError",
     "JobOutcome",
+    "PERMANENT",
+    "PoolBrokenError",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
+    "ShmManifest",
+    "TRANSIENT",
     "cache_key",
+    "classify_failure",
     "console_listener",
     "execute_jobs",
+    "execute_jobs_resilient",
     "execute_serial",
     "fanout",
+    "sweep_stale_manifests",
 ]

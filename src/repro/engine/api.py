@@ -24,6 +24,11 @@ from repro.engine.cache import ResultCache
 from repro.engine.jobs import AnalysisJob
 from repro.engine.pool import JobFailedError, JobOutcome, execute_jobs
 from repro.engine.progress import EngineTelemetry, ProgressListener, fanout
+from repro.engine.resilience import (
+    RetryPolicy,
+    RunJournal,
+    execute_jobs_resilient,
+)
 
 
 class ExperimentEngine:
@@ -37,6 +42,17 @@ class ExperimentEngine:
         shared_memory: share each distinct columnar trace with workers via
             one ``multiprocessing.shared_memory`` block (default); when
             off, workers decode traces from the on-disk cache instead.
+        retries: transient-failure retries per job (0 = fail on first
+            error); retried with exponential backoff + deterministic
+            jitter, then quarantined.
+        retry_policy: full :class:`RetryPolicy` override (wins over
+            ``retries`` when given).
+        journal_dir: directory for append-only run journals; every grid
+            outcome is journaled as it lands.
+        resume: a previous run id to resume — completed jobs replay from
+            that run's journal instead of re-executing.
+        fail_fast: abort the grid at the first unretryable failure
+            (default is keep-going: every job gets its chance).
         telemetry: cumulative :class:`EngineTelemetry` across grids.
     """
 
@@ -49,6 +65,11 @@ class ExperimentEngine:
         progress: Optional[ProgressListener] = None,
         start_method: Optional[str] = None,
         shared_memory: bool = True,
+        retries: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        journal_dir: Optional[str] = None,
+        resume: Optional[str] = None,
+        fail_fast: bool = False,
     ):
         if store is None:
             from repro.harness.runner import TraceStore
@@ -56,6 +77,10 @@ class ExperimentEngine:
             store = TraceStore()
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if resume and not journal_dir:
+            raise ValueError("resume requires a journal_dir to read the journal from")
         if isinstance(result_cache, str):
             result_cache = ResultCache(result_cache)
         self.store = store
@@ -63,9 +88,19 @@ class ExperimentEngine:
         self.result_cache = result_cache
         self.timeout = timeout
         self.shared_memory = shared_memory
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=retries + 1)
+        self.fail_fast = fail_fast
+        self.journal: Optional[RunJournal] = None
+        if journal_dir:
+            self.journal = RunJournal(journal_dir, run_id=resume, resume=bool(resume))
         self.telemetry = EngineTelemetry()
         self._progress = progress
         self._start_method = start_method
+
+    @property
+    def run_id(self) -> Optional[str]:
+        """The journal run id (``None`` when journaling is off)."""
+        return self.journal.run_id if self.journal is not None else None
 
     # -- trace passthrough -------------------------------------------------
 
@@ -83,9 +118,12 @@ class ExperimentEngine:
 
     def run_grid(self, grid: Sequence[AnalysisJob]) -> List[JobOutcome]:
         """Execute a grid; returns per-job outcomes (never raises on job
-        failure — inspect :attr:`JobOutcome.error`)."""
+        failure — inspect :attr:`JobOutcome.error`). Runs through the
+        resilience layer: transient failures are retried per
+        :attr:`retry_policy`, outcomes are journaled when a journal is
+        configured, and a broken pool degrades to serial execution."""
         self._ensure_disk_store()
-        return execute_jobs(
+        return execute_jobs_resilient(
             grid,
             self.store,
             njobs=self.jobs,
@@ -94,6 +132,9 @@ class ExperimentEngine:
             progress=fanout(self.telemetry, self._progress),
             start_method=self._start_method,
             shared_memory=self.shared_memory,
+            retry=self.retry_policy,
+            journal=self.journal,
+            fail_fast=self.fail_fast,
         )
 
     def analyze_grid(self, grid: Sequence[AnalysisJob]) -> List[AnalysisResult]:

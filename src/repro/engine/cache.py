@@ -45,9 +45,35 @@ class ResultCache:
         os.makedirs(directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self._warned_quarantine = False
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
+
+    def _quarantine(self, path: str, error: Exception) -> None:
+        """Move an unreadable/mismatched entry aside as ``<name>.corrupt``
+        instead of deleting it (the bytes are evidence — a recurring
+        corruption pattern is worth diagnosing) or leaving it in place
+        (where it would be re-parsed and re-missed on every lookup
+        forever). Logged loudly once per run, quietly after."""
+        target = f"{path}.corrupt"
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # raced with a concurrent store/quarantine; entry is gone
+        self.quarantined += 1
+        if not self._warned_quarantine:
+            self._warned_quarantine = True
+            logger.warning(
+                "quarantined corrupt result-cache entry %s -> %s (%s); "
+                "further quarantines this run will log at DEBUG",
+                path, target, error,
+            )
+        else:
+            logger.debug(
+                "quarantined corrupt result-cache entry %s (%s)", path, error
+            )
 
     def load(self, key: str) -> Optional[AnalysisResult]:
         """The cached result for ``key``, or ``None`` on any kind of miss."""
@@ -62,11 +88,7 @@ class ResultCache:
             self.misses += 1
             return None
         except (ValueError, KeyError, TypeError, OSError) as error:
-            logger.warning("discarding bad result-cache entry %s (%s)", path, error)
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._quarantine(path, error)
             self.misses += 1
             return None
         self.hits += 1

@@ -96,6 +96,12 @@ class AnalysisJob:
         ).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()
 
+    @property
+    def short_digest(self) -> str:
+        """First 12 hex chars of :meth:`digest` — the compact tag run
+        journals and retry log lines use to reference a job."""
+        return self.digest()[:12]
+
     def describe(self) -> str:
         """Short human-readable tag for progress lines."""
         extras = []

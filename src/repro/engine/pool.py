@@ -27,16 +27,20 @@ and ``spawn``.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import os
 import queue as queue_module
+import signal
 import time
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import AnalysisResult
+from repro.engine import faults
 from repro.engine.cache import ResultCache, cache_key
 from repro.engine.jobs import AnalysisJob
 from repro.engine.progress import (
@@ -70,6 +74,13 @@ class EngineError(Exception):
     """Base class for engine failures."""
 
 
+class PoolBrokenError(EngineError):
+    """Raised when the worker pool itself is unhealthy (respawn budget
+    exhausted) — an infrastructure failure, distinct from any one job
+    failing. :mod:`repro.engine.resilience` catches this and degrades the
+    remainder of the grid to in-process serial execution."""
+
+
 class JobFailedError(EngineError):
     """Raised when a grid is executed in strict mode and any job failed."""
 
@@ -97,6 +108,8 @@ class JobOutcome:
         cached: the result came from the result cache.
         worker: id of the worker that ran the job (``None`` for in-process
             execution and cache hits).
+        attempts: executions this outcome took (>1 after resilience retries).
+        replayed: the result was replayed from a run journal (``--resume``).
     """
 
     index: int
@@ -107,6 +120,8 @@ class JobOutcome:
     seconds: float = 0.0
     cached: bool = False
     worker: Optional[int] = None
+    attempts: int = 1
+    replayed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -115,6 +130,22 @@ class JobOutcome:
 
 def _null_listener(event: JobEvent) -> None:
     return None
+
+
+#: Callback invoked with each :class:`JobOutcome` the moment it becomes
+#: final, in completion order (not submission order). The resilience layer
+#: journals outcomes through this hook so a SIGKILL'd run loses nothing
+#: already finished. Exceptions propagate and abort the grid (fail-fast).
+OutcomeListener = Callable[[JobOutcome], None]
+
+
+def _payload_checksum(result_dict: dict) -> str:
+    """Checksum of a result payload in its canonical JSON form. Workers
+    stamp it before the payload crosses the result queue; the parent
+    recomputes it on receipt, so a mangled payload surfaces as a structured
+    job failure (retryable) instead of silently skewing a table."""
+    blob = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def resolve_start_method(start_method: Optional[str] = None) -> str:
@@ -138,46 +169,86 @@ def _load_trace(trace_ref: Tuple[str, str]):
     return read_trace_file(target)
 
 
+def _sigterm_to_exit(signum, frame) -> None:
+    """Turn the parent's ``terminate()`` into an orderly unwind so the
+    worker's cleanup path (shm detach, queue release) runs."""
+    raise SystemExit(128 + signum)
+
+
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     """Worker loop: pull ``(index, job wire form, trace reference)`` tasks
     until the ``None`` sentinel. All state is rebuilt from the message
-    contents."""
+    contents.
+
+    Shutdown discipline: whether the loop ends via the sentinel, a Ctrl-C
+    forwarded to the process group, or the parent's SIGTERM, shared-memory
+    attachments are closed before interpreter teardown (a ``SharedMemory``
+    finalized while column views are still exported raises noisy
+    ``BufferError``/resource-tracker warnings at exit) and the queues are
+    released without blocking on unflushed buffers.
+    """
+    signal.signal(signal.SIGTERM, _sigterm_to_exit)
     traces: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
-    while True:
-        task = task_queue.get()
-        if task is None:
-            # Release shared-memory attachments before interpreter teardown:
-            # a SharedMemory finalized while column views are still exported
-            # raises (ignored but noisy) BufferErrors at exit.
-            for trace in traces.values():
-                if isinstance(trace, ColumnarTrace):
-                    trace.close()
-            return
-        index, wire, trace_ref = task
-        result_queue.put((JOB_STARTED, worker_id, index, None))
-        start = time.perf_counter()
-        try:
-            job = AnalysisJob.from_canonical(wire)
-            trace = traces.get(trace_ref)
-            if trace is None:
-                trace = _load_trace(trace_ref)
-                traces[trace_ref] = trace
-                while len(traces) > _WORKER_TRACE_LRU:
-                    _, evicted = traces.popitem(last=False)
-                    if isinstance(evicted, ColumnarTrace):
-                        evicted.close()
-            else:
-                traces.move_to_end(trace_ref)
-            result = job.run(trace)
-            payload = (result_to_dict(result), time.perf_counter() - start)
-            result_queue.put((JOB_DONE, worker_id, index, payload))
-        except BaseException as error:  # noqa: BLE001 - one bad job must not kill the grid
-            payload = (
-                f"{type(error).__name__}: {error}",
-                traceback.format_exc(),
-                time.perf_counter() - start,
-            )
-            result_queue.put((JOB_FAILED, worker_id, index, payload))
+    interrupted = False
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                return
+            index, wire, trace_ref = task
+            result_queue.put((JOB_STARTED, worker_id, index, None))
+            if faults.fire("crash", index):
+                faults.crash_now()
+            if faults.fire("hang", index):
+                faults.hang_now()
+            start = time.perf_counter()
+            try:
+                job = AnalysisJob.from_canonical(wire)
+                trace = traces.get(trace_ref)
+                if trace is None:
+                    if trace_ref[0] == "shm" and faults.fire("shm", index):
+                        raise RuntimeError(
+                            f"injected shm attach failure for block {trace_ref[1]!r}"
+                        )
+                    trace = _load_trace(trace_ref)
+                    traces[trace_ref] = trace
+                    while len(traces) > _WORKER_TRACE_LRU:
+                        _, evicted = traces.popitem(last=False)
+                        if isinstance(evicted, ColumnarTrace):
+                            evicted.close()
+                else:
+                    traces.move_to_end(trace_ref)
+                result = job.run(trace)
+                result_dict = result_to_dict(result)
+                checksum = _payload_checksum(result_dict)
+                if faults.fire("corrupt", index):
+                    result_dict = faults.corrupt_payload(result_dict)
+                payload = (result_dict, time.perf_counter() - start, checksum)
+                result_queue.put((JOB_DONE, worker_id, index, payload))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001 - one bad job must not kill the grid
+                payload = (
+                    f"{type(error).__name__}: {error}",
+                    traceback.format_exc(),
+                    time.perf_counter() - start,
+                )
+                result_queue.put((JOB_FAILED, worker_id, index, payload))
+    except (KeyboardInterrupt, SystemExit):
+        interrupted = True
+    finally:
+        for trace in traces.values():
+            if isinstance(trace, ColumnarTrace):
+                trace.close()
+        if interrupted:
+            # Interrupted mid-grid: drain our claim on the queues so exit
+            # never blocks joining a feeder thread with undelivered items.
+            for q in (task_queue, result_queue):
+                try:
+                    q.cancel_join_thread()
+                    q.close()
+                except (OSError, ValueError):
+                    pass
 
 
 # -- parent side ---------------------------------------------------------------
@@ -197,6 +268,7 @@ def execute_serial(
     store,
     result_cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
+    on_outcome: Optional[OutcomeListener] = None,
 ) -> List[JobOutcome]:
     """In-process execution — the ``--jobs 1`` path. No subprocesses, no
     serialization round-trips beyond the result cache: exceptions surface
@@ -204,6 +276,7 @@ def execute_serial(
     default. Forward analyses run on the store's columnar trace (the
     config-specialized kernels) when the store provides one."""
     emit = progress or _null_listener
+    land = on_outcome or (lambda outcome: None)
     total = len(jobs)
     columnar = getattr(store, "columnar", None)
     outcomes: List[JobOutcome] = []
@@ -221,12 +294,15 @@ def execute_serial(
                 detail=traceback.format_exc(),
             )
             outcomes.append(outcome)
+            land(outcome)
             emit(JobEvent(JOB_FAILED, index, total, job, 0.0, outcome.error))
             continue
         trace_digest = trace.digest()
         key, cached = _cache_lookup(result_cache, trace_digest, job)
         if cached is not None:
-            outcomes.append(JobOutcome(index, job, result=cached, cached=True))
+            outcome = JobOutcome(index, job, result=cached, cached=True)
+            outcomes.append(outcome)
+            land(outcome)
             emit(JobEvent(JOB_CACHED, index, total, job))
             continue
         emit(JobEvent(JOB_STARTED, index, total, job))
@@ -243,12 +319,15 @@ def execute_serial(
                 seconds=seconds,
             )
             outcomes.append(outcome)
+            land(outcome)
             emit(JobEvent(JOB_FAILED, index, total, job, seconds, outcome.error))
             continue
         seconds = time.perf_counter() - start
         if result_cache is not None:
             result_cache.store(key, trace_digest, job, result)
-        outcomes.append(JobOutcome(index, job, result=result, seconds=seconds))
+        outcome = JobOutcome(index, job, result=result, seconds=seconds)
+        outcomes.append(outcome)
+        land(outcome)
         emit(JobEvent(JOB_DONE, index, total, job, seconds))
     return outcomes
 
@@ -262,6 +341,9 @@ def execute_jobs(
     progress: Optional[ProgressListener] = None,
     start_method: Optional[str] = None,
     shared_memory: bool = True,
+    on_outcome: Optional[OutcomeListener] = None,
+    max_respawns: Optional[int] = None,
+    shm_manifest=None,
 ) -> List[JobOutcome]:
     """Execute a job grid, fanning out to ``njobs`` worker processes.
 
@@ -271,11 +353,18 @@ def execute_jobs(
     distinct input trace is packed once into a shared-memory columnar
     block that workers attach zero-copy; disabling it (or any failure to
     create a block) falls back to workers decoding the ``.pgt`` files.
+
+    ``on_outcome`` is invoked with each outcome as it lands (journaling
+    hook); ``max_respawns`` bounds replacement-worker spawns before the
+    pool declares itself broken with :class:`PoolBrokenError`;
+    ``shm_manifest`` (a :class:`~repro.engine.resilience.ShmManifest`)
+    records every shared-memory block the parent creates so a SIGKILL'd
+    run's blocks can be swept by the next one.
     """
     if njobs < 1:
         raise ValueError(f"njobs must be >= 1, got {njobs}")
     if njobs == 1 or len(jobs) <= 1:
-        return execute_serial(jobs, store, result_cache, progress)
+        return execute_serial(jobs, store, result_cache, progress, on_outcome)
     if not getattr(store, "directory", None):
         raise EngineError(
             "parallel execution requires a disk-backed TraceStore "
@@ -283,6 +372,7 @@ def execute_jobs(
         )
 
     emit = progress or _null_listener
+    land = on_outcome or (lambda outcome: None)
     total = len(jobs)
     outcomes: List[Optional[JobOutcome]] = [None] * total
 
@@ -311,12 +401,14 @@ def execute_jobs(
         if job.trace_key in trace_errors:
             error, detail = trace_errors[job.trace_key]
             outcomes[index] = JobOutcome(index, job, error=error, detail=detail)
+            land(outcomes[index])
             emit(JobEvent(JOB_FAILED, index, total, job, 0.0, error))
             continue
         path, trace_digest = trace_files[job.trace_key]
         key, cached = _cache_lookup(result_cache, trace_digest, job)
         if cached is not None:
             outcomes[index] = JobOutcome(index, job, result=cached, cached=True)
+            land(outcomes[index])
             emit(JobEvent(JOB_CACHED, index, total, job))
             continue
         if key is not None:
@@ -347,6 +439,8 @@ def execute_jobs(
                 pass
             else:
                 shm_blocks.append(block)
+                if shm_manifest is not None:
+                    shm_manifest.register(block.name)
                 ref = ("shm", block.name)
         trace_refs[trace_key] = ref
     tasks: List[Tuple[int, dict, Tuple[str, str]]] = [
@@ -368,6 +462,12 @@ def execute_jobs(
 
     def spawn_worker() -> None:
         nonlocal next_worker_id
+        if max_respawns is not None and next_worker_id >= worker_count + max_respawns:
+            raise PoolBrokenError(
+                f"worker pool broken: {next_worker_id - worker_count} replacement "
+                f"workers already spawned (limit {max_respawns}); "
+                "the pool, not any one job, is failing"
+            )
         worker_id = next_worker_id
         next_worker_id += 1
         process = context.Process(
@@ -392,6 +492,10 @@ def execute_jobs(
             return  # already resolved (e.g. timed out before its result arrived)
         outcomes[outcome.index] = outcome
         pending -= 1
+        # Outcome listener first: it may reclassify the event (the
+        # resilience layer turns a to-be-retried failure into a retry
+        # event and filters the redundant failed event).
+        land(outcome)
         emit(
             JobEvent(
                 kind,
@@ -416,7 +520,20 @@ def execute_jobs(
             emit(JobEvent(JOB_STARTED, index, total, job, worker=worker_id))
         elif kind == JOB_DONE:
             running.pop(worker_id, None)
-            result_dict, seconds = payload
+            result_dict, seconds, checksum = payload
+            if _payload_checksum(result_dict) != checksum:
+                finish(
+                    JobOutcome(
+                        index,
+                        job,
+                        error="corrupted result payload from worker "
+                        "(checksum mismatch)",
+                        seconds=seconds,
+                        worker=worker_id,
+                    ),
+                    JOB_FAILED,
+                )
+                return
             result = result_from_dict(result_dict)
             if result_cache is not None and index in keys:
                 key, trace_digest = keys[index]
@@ -519,8 +636,16 @@ def execute_jobs(
                     )
                     if pending > 0:
                         spawn_worker()
-                elif pending == 0 or task_queue.empty():
+                elif process.exitcode == 0 or pending == 0 or task_queue.empty():
                     workers.pop(worker_id)
+                else:
+                    # Died with no claimed job on record while work remains:
+                    # its JOB_STARTED message was lost with it (os._exit
+                    # beats the queue feeder thread). Replace it so the
+                    # queue keeps draining; the idle backstop resolves any
+                    # task it claimed silently.
+                    workers.pop(worker_id)
+                    spawn_worker()
     finally:
         for process in workers.values():
             process.join(timeout=1.0)
@@ -537,5 +662,7 @@ def execute_jobs(
                 block.unlink()
             except OSError:  # already gone (e.g. external cleanup)
                 pass
+            if shm_manifest is not None:
+                shm_manifest.release(block.name)
 
     return [outcome for outcome in outcomes if outcome is not None]

@@ -18,6 +18,8 @@ from repro.engine.jobs import AnalysisJob
 #: Event kinds, in lifecycle order.
 JOB_STARTED = "started"
 JOB_CACHED = "cached"
+JOB_REPLAYED = "replayed"
+JOB_RETRY = "retry"
 JOB_DONE = "done"
 JOB_FAILED = "failed"
 
@@ -56,6 +58,8 @@ class EngineTelemetry:
     submitted: int = 0
     completed: int = 0
     cache_hits: int = 0
+    replays: int = 0
+    retries: int = 0
     failures: int = 0
     busy_seconds: float = 0.0
     events: List[JobEvent] = field(default_factory=list)
@@ -67,6 +71,12 @@ class EngineTelemetry:
         elif event.kind == JOB_CACHED:
             self.cache_hits += 1
             self.completed += 1
+        elif event.kind == JOB_REPLAYED:
+            self.replays += 1
+            self.completed += 1
+        elif event.kind == JOB_RETRY:
+            self.retries += 1
+            self.busy_seconds += event.seconds
         elif event.kind == JOB_DONE:
             self.completed += 1
             self.busy_seconds += event.seconds
@@ -76,10 +86,15 @@ class EngineTelemetry:
 
     def summary(self) -> str:
         """One-line rollup for logs and the CLI."""
-        return (
+        line = (
             f"{self.completed} jobs done ({self.cache_hits} cached, "
             f"{self.failures} failed), {self.busy_seconds:.2f}s analysis time"
         )
+        if self.replays:
+            line += f", {self.replays} replayed from journal"
+        if self.retries:
+            line += f", {self.retries} retried"
+        return line
 
 
 def console_listener(stream=None) -> ProgressListener:
@@ -90,9 +105,14 @@ def console_listener(stream=None) -> ProgressListener:
         if event.kind == JOB_STARTED:
             return
         width = len(str(event.total))
-        tag = {JOB_CACHED: "cached", JOB_DONE: f"{event.seconds:6.2f}s", JOB_FAILED: "FAILED"}[
-            event.kind
-        ]
+        tags = {
+            JOB_CACHED: "cached",
+            JOB_REPLAYED: "replayed",
+            JOB_RETRY: "RETRY",
+            JOB_DONE: f"{event.seconds:6.2f}s",
+            JOB_FAILED: "FAILED",
+        }
+        tag = tags.get(event.kind, event.kind)
         line = f"[{event.index + 1:>{width}}/{event.total}] {tag:>8}  {event.job.describe()}"
         if event.error:
             line += f"  ({event.error})"

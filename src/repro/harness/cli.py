@@ -48,16 +48,58 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print one line per completed analysis job (stderr)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries per job for transient failures (worker crash, "
+        "timeout, shm attach, IO), with exponential backoff; a job still "
+        "failing afterwards is quarantined (default: 2, 0 disables)",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        help="directory for append-only run journals; outcomes are "
+        "journaled as they land so an interrupted grid can be resumed "
+        "with --resume <run-id>",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        help="resume a journaled run: completed jobs replay from the "
+        "journal, only the remainder re-executes (requires --journal-dir)",
+    )
+    fail_mode = parser.add_mutually_exclusive_group()
+    fail_mode.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the grid at the first unretryable job failure",
+    )
+    fail_mode.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="run every job even when some fail (default)",
+    )
 
 
 def _build_engine(args) -> ExperimentEngine:
-    return ExperimentEngine(
+    if args.resume and not args.journal_dir:
+        raise SystemExit("--resume requires --journal-dir")
+    engine = ExperimentEngine(
         store=TraceStore(args.trace_dir),
         jobs=args.jobs,
         result_cache=args.result_cache,
         timeout=args.job_timeout,
         progress=console_listener() if args.progress else None,
+        retries=args.retries,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        fail_fast=args.fail_fast,
     )
+    if engine.run_id:
+        verb = "resuming" if args.resume else "journaling"
+        print(f"{verb} run {engine.run_id} (journal: {args.journal_dir})", file=sys.stderr)
+    return engine
 
 
 def _build_parser() -> argparse.ArgumentParser:

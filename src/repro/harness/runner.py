@@ -174,6 +174,27 @@ class TraceStore:
         trace = self.trace(workload, cap, optimize)
         return path, trace.digest()
 
+    def invalidate(self, workload, cap: int = DEFAULT_CAP, optimize: bool = False) -> bool:
+        """Drop every cached form of one trace — memory buffer, columnar
+        view, and the on-disk ``.pgt`` file — so the next request
+        regenerates it from the workload. The resilience layer calls this
+        before retrying a job that failed on a truncated or corrupted
+        cached trace; returns ``True`` when anything was actually
+        dropped."""
+        name = workload if isinstance(workload, str) else workload.name
+        key = (name, cap, optimize)
+        dropped = self._memory.pop(key, None) is not None
+        dropped = (self._columnar.pop(key, None) is not None) or dropped
+        path = self._path(name, cap, optimize)
+        if path and os.path.exists(path):
+            try:
+                os.remove(path)
+                dropped = True
+                logger.warning("invalidated cached trace %s", path)
+            except OSError:
+                pass
+        return dropped
+
     def full_run_length(self, workload) -> int:
         """Dynamic instruction count of the complete (untraced) run — the
         paper's "Total Instructions in Trace" column."""

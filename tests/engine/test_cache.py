@@ -77,3 +77,49 @@ class TestStoreLoad:
         entry = json.load(open(os.path.join(str(tmp_path), f"{key}.json")))
         assert entry["trace_digest"] == DIGEST
         assert entry["job"] == job.canonical()
+
+
+class TestQuarantine:
+    def _poison(self, cache, tmp_path, job):
+        key = cache_key(DIGEST, job)
+        cache.store(key, DIGEST, job, analyze(TRACE, job.config))
+        path = os.path.join(str(tmp_path), f"{key}.json")
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        return key, path
+
+    def test_bad_entry_moved_aside_not_deleted(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key, path = self._poison(cache, tmp_path, _job())
+        assert cache.load(key) is None
+        assert not os.path.exists(path)
+        quarantined = path + ".corrupt"
+        assert os.path.exists(quarantined)
+        assert open(quarantined).read() == "{ not json"  # evidence preserved
+        assert cache.quarantined == 1
+        assert len(cache) == 0  # .corrupt files are not entries
+
+    def test_quarantined_entry_stays_a_miss_then_restores(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = _job()
+        key, path = self._poison(cache, tmp_path, job)
+        assert cache.load(key) is None
+        assert cache.load(key) is None  # clean miss, no re-quarantine
+        assert cache.quarantined == 1
+        result = analyze(TRACE, job.config)
+        cache.store(key, DIGEST, job, result)
+        assert result_to_bytes(cache.load(key)) == result_to_bytes(result)
+
+    def test_warns_once_per_run(self, tmp_path, caplog):
+        cache = ResultCache(str(tmp_path))
+        key_a, _ = self._poison(cache, tmp_path, _job())
+        key_b, _ = self._poison(cache, tmp_path, _job(config=AnalysisConfig(window_size=2)))
+        with caplog.at_level("DEBUG", logger="repro.engine.cache"):
+            assert cache.load(key_a) is None
+            assert cache.load(key_b) is None
+        warnings = [r for r in caplog.records if r.levelname == "WARNING"]
+        assert len(warnings) == 1
+        assert "quarantined" in warnings[0].getMessage()
+        debugs = [r for r in caplog.records if r.levelname == "DEBUG"]
+        assert len(debugs) == 1
+        assert cache.quarantined == 2

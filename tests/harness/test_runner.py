@@ -75,6 +75,55 @@ class TestStaleness:
         assert reloaded.records == fresh.records
         assert any("regenerating" in message for message in caplog.messages)
 
+    def test_truncated_mid_header_regenerated(self, tmp_path, caplog):
+        """Cut inside the 60-byte PGT2 header — the read fails before a
+        single record (or the digest) is seen."""
+        directory, path, fresh = self._cache_file(tmp_path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:30])
+        with caplog.at_level("WARNING", logger="repro.harness.runner"):
+            reloaded = TraceStore(directory).trace("xlispx", 1500)
+        assert reloaded.records == fresh.records
+        assert any("regenerating" in message for message in caplog.messages)
+        read_trace_digest(path)  # rewritten file is whole again
+
+    def test_truncated_mid_records_regenerated(self, tmp_path, caplog):
+        """Cut a few bytes into the record stream — header parses, digest
+        check never gets a full stream to verify."""
+        directory, path, fresh = self._cache_file(tmp_path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:70])  # header (60 B) + partial record
+        with caplog.at_level("WARNING", logger="repro.harness.runner"):
+            reloaded = TraceStore(directory).trace("xlispx", 1500)
+        assert reloaded.records == fresh.records
+        assert any("regenerating" in message for message in caplog.messages)
+        read_trace_digest(path)
+
+    def test_truncated_file_regenerated_by_columnar(self, tmp_path, caplog):
+        """The columnar path (what parallel grids use) recovers from both
+        truncation shapes too."""
+        directory, path, fresh = self._cache_file(tmp_path)
+        for cut in (30, 70):  # mid-header, then mid-records
+            data = open(path, "rb").read()
+            open(path, "wb").write(data[:cut])
+            with caplog.at_level("WARNING", logger="repro.harness.runner"):
+                reloaded = TraceStore(directory).columnar("xlispx", 1500)
+            assert reloaded.digest() == fresh.digest()
+            assert any("regenerating" in message for message in caplog.messages)
+            caplog.clear()
+
+    def test_invalidate_drops_all_cached_forms(self, tmp_path):
+        directory, path, fresh = self._cache_file(tmp_path)
+        store = TraceStore(directory)
+        store.trace("xlispx", 1500)
+        store.columnar("xlispx", 1500)
+        assert store.invalidate("xlispx", 1500) is True
+        assert not os.path.exists(path)
+        assert store.invalidate("xlispx", 1500) is False  # nothing left
+        regenerated = store.trace("xlispx", 1500)
+        assert regenerated.records == fresh.records
+        assert os.path.exists(path)
+
     def test_oversized_file_regenerated(self, tmp_path, caplog):
         """A valid file holding more records than the cap is stale (written
         under the same name by a run with different parameters)."""
