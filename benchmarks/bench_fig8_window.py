@@ -11,15 +11,13 @@ Shape assertions, per the paper's reading of the figure:
 
 from conftest import run_once
 
-from repro.harness.experiments import FIG8_WINDOWS, fig8_window
+from repro.harness.experiments import fig8_window
 
 
 def test_fig8(benchmark, store, cap, save_output, check_shapes):
     output = run_once(benchmark, fig8_window, store, cap)
     save_output("fig8", output)
     percent_table, absolute_table = output.tables
-    windows = [1 if w is None else w for w in FIG8_WINDOWS]
-
     percent = {row[0]: row[1:] for row in percent_table.rows}
     absolute = {row[0]: row[1:] for row in absolute_table.rows}
 

@@ -1,0 +1,81 @@
+"""Diff fresh pytest-benchmark results against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py bench-smoke.json \
+        [--baseline benchmarks/BENCH_throughput.json] [--threshold 0.20]
+
+Compares mean runtimes by benchmark name and prints one line per shared
+benchmark. A slowdown at or past the threshold (default 20%) emits a
+GitHub Actions ``::warning::`` annotation so it shows up on the run page.
+
+Deliberately non-gating: shared CI runners are too noisy to fail merges
+on, so the exit code is always 0 — the committed baseline
+(``benchmarks/BENCH_throughput.json``) stays the reference for local,
+quiet-machine comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["name"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="fresh pytest-benchmark JSON")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_throughput.json",
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative slowdown that triggers a warning (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_means(args.results)
+    baseline = load_means(args.baseline)
+    shared = sorted(set(fresh) & set(baseline))
+    if not shared:
+        print("::warning::no benchmarks shared with the baseline; nothing compared")
+        return 0
+
+    regressions = []
+    for name in shared:
+        before, after = baseline[name], fresh[name]
+        delta = (after - before) / before if before else 0.0
+        marker = " <-- REGRESSION" if delta >= args.threshold else ""
+        print(
+            f"{name:<45} {before * 1000:9.2f}ms -> {after * 1000:9.2f}ms "
+            f"({delta:+6.1%}){marker}"
+        )
+        if delta >= args.threshold:
+            regressions.append((name, delta))
+
+    only_fresh = sorted(set(fresh) - set(baseline))
+    if only_fresh:
+        print(f"(not in baseline: {', '.join(only_fresh)})")
+
+    for name, delta in regressions:
+        print(
+            f"::warning title=benchmark regression::{name} is {delta:+.1%} "
+            f"vs the committed baseline (threshold {args.threshold:.0%})"
+        )
+    if not regressions:
+        print(f"no regressions >= {args.threshold:.0%} across {len(shared)} benchmarks")
+    return 0  # informational only — never gate merges on shared-runner noise
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,8 @@ from repro.core.profile import ParallelismProfile
 from repro.core.resources import ResourceState
 from repro.core.results import AnalysisResult
 from repro.isa.locations import MEM_BASE
+from repro.obs import metrics as _obs
+from repro.obs.spans import span as _span
 from repro.isa.opclasses import OpClass
 from repro.trace.record import FLAG_CONDITIONAL, FLAG_TAKEN
 from repro.trace.segments import DEFAULT_SEGMENTS, SegmentMap
@@ -110,6 +112,17 @@ def analyze_columnar(
     if segments is None:
         segments = getattr(trace, "segments", DEFAULT_SEGMENTS)
     kernel = select_kernel(config)
+    # The span is per analysis, not per record: with metrics off this is a
+    # single predicate on the null registry, keeping the kernels inside
+    # their <1% overhead budget; with metrics on it prices each kernel
+    # family separately (``span.kernel.scan.<kernel>.wall``).
+    if not _obs.enabled():
+        return _dispatch(kernel, trace, config, segments)
+    with _span(f"kernel.scan.{kernel}"):
+        return _dispatch(kernel, trace, config, segments)
+
+
+def _dispatch(kernel, trace, config, segments) -> AnalysisResult:
     if kernel == KERNEL_DATAFLOW:
         return _kernel_dataflow(trace, config)
     if kernel == KERNEL_WINDOWED:

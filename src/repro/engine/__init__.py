@@ -16,7 +16,10 @@ Public surface:
 - progress events and telemetry in :mod:`repro.engine.progress`;
 - fault tolerance (retry/backoff, run journals, shm sweeps) in
   :mod:`repro.engine.resilience`, and the deterministic fault-injection
-  harness that pins it in :mod:`repro.engine.faults`.
+  harness that pins it in :mod:`repro.engine.faults`;
+- observability (phase spans, counters, JSONL run metrics) lives in
+  :mod:`repro.obs` and is threaded through every path here — enable it
+  with ``ExperimentEngine(metrics=True)`` or ``REPRO_METRICS=1``.
 """
 
 from repro.engine.api import ExperimentEngine
@@ -35,6 +38,7 @@ from repro.engine.progress import (
     JobEvent,
     console_listener,
     fanout,
+    metrics_listener,
 )
 from repro.engine.resilience import (
     PERMANENT,
@@ -69,5 +73,6 @@ __all__ = [
     "execute_jobs_resilient",
     "execute_serial",
     "fanout",
+    "metrics_listener",
     "sweep_stale_manifests",
 ]

@@ -23,12 +23,49 @@ from repro.core.results import AnalysisResult
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import AnalysisJob
 from repro.engine.pool import JobFailedError, JobOutcome, execute_jobs
-from repro.engine.progress import EngineTelemetry, ProgressListener, fanout
+from repro.engine.progress import (
+    EngineTelemetry,
+    ProgressListener,
+    fanout,
+    metrics_listener,
+)
 from repro.engine.resilience import (
     RetryPolicy,
     RunJournal,
     execute_jobs_resilient,
+    new_run_id,
 )
+from repro.obs import metrics as obs
+from repro.obs.export import MetricsWriter
+from repro.obs.export import metrics_path as default_metrics_path
+
+
+def outcome_row(outcome: JobOutcome) -> dict:
+    """The metrics-export row for one terminal job outcome (see
+    :mod:`repro.obs.export` for the file layout)."""
+    if outcome.cached:
+        status = "cached"
+    elif outcome.replayed:
+        status = "replayed"
+    elif outcome.ok:
+        status = "ok"
+    else:
+        status = "failed"
+    return {
+        "index": outcome.index,
+        "job": outcome.job.short_digest,
+        "describe": outcome.job.describe(),
+        "workload": outcome.job.workload,
+        "cap": outcome.job.cap,
+        "ok": outcome.ok,
+        "status": status,
+        "seconds": outcome.seconds,
+        "attempts": outcome.attempts,
+        "worker": outcome.worker,
+        "queue_wait": outcome.queue_wait,
+        "phases": outcome.phases,
+        "error": outcome.error,
+    }
 
 
 class ExperimentEngine:
@@ -54,6 +91,12 @@ class ExperimentEngine:
         fail_fast: abort the grid at the first unretryable failure
             (default is keep-going: every job gets its chance).
         telemetry: cumulative :class:`EngineTelemetry` across grids.
+        metrics: collect per-phase timings, cache/pool counters, and a
+            per-run JSONL metrics export (``None`` defers to the
+            ``REPRO_METRICS`` environment switch; default off).
+        metrics_path: explicit metrics file path (default:
+            ``<journal_dir>/<run-id>.metrics.jsonl`` when journaling, else
+            ``<run-id>.metrics.jsonl`` in the working directory).
     """
 
     def __init__(
@@ -70,6 +113,8 @@ class ExperimentEngine:
         journal_dir: Optional[str] = None,
         resume: Optional[str] = None,
         fail_fast: bool = False,
+        metrics: Optional[bool] = None,
+        metrics_path: Optional[str] = None,
     ):
         if store is None:
             from repro.harness.runner import TraceStore
@@ -96,11 +141,70 @@ class ExperimentEngine:
         self.telemetry = EngineTelemetry()
         self._progress = progress
         self._start_method = start_method
+        self.metrics = obs.env_enabled() if metrics is None else bool(metrics)
+        self._metrics_explicit = metrics is not None
+        self.metrics_registry = None
+        self._journal_dir = journal_dir
+        self._metrics_path = metrics_path
+        self._metrics_run_id: Optional[str] = None
+        self._metrics_writer: Optional[MetricsWriter] = None
+        if self.metrics:
+            self.metrics_registry = obs.enable()
 
     @property
     def run_id(self) -> Optional[str]:
         """The journal run id (``None`` when journaling is off)."""
         return self.journal.run_id if self.journal is not None else None
+
+    # -- metrics export ----------------------------------------------------
+
+    @property
+    def metrics_run_id(self) -> Optional[str]:
+        """The id naming this run's metrics file: the journal run id when
+        journaling, else a fresh id pinned at first use (``None`` with
+        metrics off)."""
+        if not self.metrics:
+            return None
+        if self.run_id is not None:
+            return self.run_id
+        if self._metrics_run_id is None:
+            self._metrics_run_id = new_run_id()
+        return self._metrics_run_id
+
+    @property
+    def metrics_file(self) -> Optional[str]:
+        """Where this run's metrics JSONL lands: the explicit
+        ``metrics_path``, else beside the run journal, else (only when
+        metrics were requested explicitly, not via ``REPRO_METRICS``) the
+        working directory. ``None`` means collect-only — counters and
+        phase timings stay queryable on :attr:`metrics_registry` but no
+        file is written."""
+        if not self.metrics:
+            return None
+        if self._metrics_path:
+            return self._metrics_path
+        if self._journal_dir:
+            return default_metrics_path(self._journal_dir, self.metrics_run_id)
+        if self._metrics_explicit:
+            return default_metrics_path(".", self.metrics_run_id)
+        return None
+
+    def _writer(self) -> MetricsWriter:
+        if self._metrics_writer is None:
+            self._metrics_writer = MetricsWriter(self.metrics_file, self.metrics_run_id)
+        return self._metrics_writer
+
+    def _export_grid(self, outcomes: Sequence[JobOutcome]) -> None:
+        """Append one row per terminal outcome plus the grid's merged
+        registry snapshot (parent + workers) to the run's metrics file.
+        Collect-only mode (no file destination) keeps the registry
+        accumulating across grids instead."""
+        if self.metrics_file is None:
+            return
+        writer = self._writer()
+        for outcome in outcomes:
+            writer.write_job(outcome_row(outcome))
+        writer.write_grid(obs.registry().drain(), jobs=len(outcomes))
 
     # -- trace passthrough -------------------------------------------------
 
@@ -123,19 +227,23 @@ class ExperimentEngine:
         :attr:`retry_policy`, outcomes are journaled when a journal is
         configured, and a broken pool degrades to serial execution."""
         self._ensure_disk_store()
-        return execute_jobs_resilient(
+        outcomes = execute_jobs_resilient(
             grid,
             self.store,
             njobs=self.jobs,
             result_cache=self.result_cache,
             timeout=self.timeout,
-            progress=fanout(self.telemetry, self._progress),
+            progress=fanout(self.telemetry, self._progress, metrics_listener()),
             start_method=self._start_method,
             shared_memory=self.shared_memory,
             retry=self.retry_policy,
             journal=self.journal,
             fail_fast=self.fail_fast,
+            metrics=self.metrics,
         )
+        if self.metrics:
+            self._export_grid(outcomes)
+        return outcomes
 
     def analyze_grid(self, grid: Sequence[AnalysisJob]) -> List[AnalysisResult]:
         """Execute a grid strictly: results in submission order, or
@@ -168,7 +276,8 @@ class ExperimentEngine:
             self.store,
             njobs=1,
             result_cache=self.result_cache,
-            progress=fanout(self.telemetry, self._progress),
+            progress=fanout(self.telemetry, self._progress, metrics_listener()),
+            metrics=self.metrics,
         )
         outcome = outcomes[0]
         if not outcome.ok:

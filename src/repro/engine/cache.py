@@ -24,6 +24,7 @@ from typing import Optional
 from repro.core.results import AnalysisResult
 from repro.engine.jobs import AnalysisJob
 from repro.engine.serialize import result_from_dict, result_to_dict
+from repro.obs import metrics as obs
 
 logger = logging.getLogger(__name__)
 
@@ -63,6 +64,7 @@ class ResultCache:
         except OSError:
             return  # raced with a concurrent store/quarantine; entry is gone
         self.quarantined += 1
+        obs.inc("result_cache.quarantined")
         if not self._warned_quarantine:
             self._warned_quarantine = True
             logger.warning(
@@ -86,12 +88,15 @@ class ResultCache:
             result = result_from_dict(entry["result"])
         except FileNotFoundError:
             self.misses += 1
+            obs.inc("result_cache.miss")
             return None
         except (ValueError, KeyError, TypeError, OSError) as error:
             self._quarantine(path, error)
             self.misses += 1
+            obs.inc("result_cache.miss")
             return None
         self.hits += 1
+        obs.inc("result_cache.hit")
         return result
 
     def store(self, key: str, trace_digest: str, job: AnalysisJob, result: AnalysisResult) -> None:
@@ -105,6 +110,7 @@ class ResultCache:
             "result": result_to_dict(result),
         }
         path = self._path(key)
+        obs.inc("result_cache.store")
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self.directory, prefix=".tmp-", suffix=".json", delete=False
         )

@@ -30,7 +30,6 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
-import os
 import queue as queue_module
 import signal
 import time
@@ -52,6 +51,8 @@ from repro.engine.progress import (
     ProgressListener,
 )
 from repro.engine.serialize import result_from_dict, result_to_dict
+from repro.obs import metrics as obs
+from repro.obs.spans import span
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.io import read_trace_file
 
@@ -110,6 +111,11 @@ class JobOutcome:
             execution and cache hits).
         attempts: executions this outcome took (>1 after resilience retries).
         replayed: the result was replayed from a run journal (``--resume``).
+        phases: per-phase wall seconds measured where the job ran
+            (``trace_load``/``kernel``/``serialize``; ``None`` with
+            metrics off or for cache hits/replays).
+        queue_wait: seconds the task sat queued before a worker picked it
+            up (0 with metrics off or for in-process execution).
     """
 
     index: int
@@ -122,6 +128,8 @@ class JobOutcome:
     worker: Optional[int] = None
     attempts: int = 1
     replayed: bool = False
+    phases: Optional[Dict[str, float]] = None
+    queue_wait: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -157,6 +165,43 @@ def resolve_start_method(start_method: Optional[str] = None) -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+def _resolve_metrics(metrics: Optional[bool]) -> bool:
+    """Resolve a tri-state metrics request: an explicit bool wins; ``None``
+    means "on if a registry is already live or the environment switch is
+    set". Resolving to on installs a live registry process-wide so every
+    instrumentation point (caches, kernels, trace store) records."""
+    if metrics is None:
+        metrics = obs.enabled() or obs.env_enabled()
+    if metrics and not obs.enabled():
+        obs.enable()
+    return bool(metrics)
+
+
+def _job_telemetry(
+    metrics: bool, phases: Optional[Dict[str, float]], queue_wait: float
+) -> Optional[dict]:
+    """The observability sidecar a worker attaches to each result payload:
+    the per-job phase breakdown plus this process's registry delta
+    (:meth:`~repro.obs.metrics.MetricsRegistry.drain`, so repeated jobs
+    never double-count)."""
+    if not metrics:
+        return None
+    return {
+        "phases": phases,
+        "queue_wait": queue_wait,
+        "registry": obs.registry().drain(),
+    }
+
+
+def _absorb_telemetry(telemetry: Optional[dict]):
+    """Parent side: merge a worker's registry delta into the live registry
+    and return ``(phases, queue_wait)`` for the outcome."""
+    if not telemetry:
+        return None, 0.0
+    obs.registry().merge(telemetry.get("registry"))
+    return telemetry.get("phases"), telemetry.get("queue_wait") or 0.0
+
+
 # -- worker side ---------------------------------------------------------------
 
 
@@ -175,10 +220,15 @@ def _sigterm_to_exit(signum, frame) -> None:
     raise SystemExit(128 + signum)
 
 
-def _worker_main(worker_id: int, task_queue, result_queue) -> None:
-    """Worker loop: pull ``(index, job wire form, trace reference)`` tasks
-    until the ``None`` sentinel. All state is rebuilt from the message
-    contents.
+def _worker_main(worker_id: int, task_queue, result_queue, metrics: bool = False) -> None:
+    """Worker loop: pull ``(index, job wire form, trace reference, enqueue
+    timestamp)`` tasks until the ``None`` sentinel. All state is rebuilt
+    from the message contents.
+
+    With ``metrics`` on, each stage runs under a span (trace decode/shm
+    attach, kernel scan, serialization), queue wait is derived from the
+    parent's enqueue timestamp, and the worker's registry delta rides each
+    result payload back to the parent for merging.
 
     Shutdown discipline: whether the loop ends via the sentinel, a Ctrl-C
     forwarded to the process group, or the parent's SIGTERM, shared-memory
@@ -188,6 +238,8 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     released without blocking on unflushed buffers.
     """
     signal.signal(signal.SIGTERM, _sigterm_to_exit)
+    if metrics:
+        obs.enable()
     traces: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
     interrupted = False
     try:
@@ -195,22 +247,29 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
             task = task_queue.get()
             if task is None:
                 return
-            index, wire, trace_ref = task
+            index, wire, trace_ref, enqueued = task
+            queue_wait = 0.0
+            if metrics and enqueued is not None:
+                queue_wait = max(0.0, time.time() - enqueued)
+                obs.observe("job.queue_wait", queue_wait)
             result_queue.put((JOB_STARTED, worker_id, index, None))
             if faults.fire("crash", index):
                 faults.crash_now()
             if faults.fire("hang", index):
                 faults.hang_now()
             start = time.perf_counter()
+            phases: Optional[Dict[str, float]] = {} if metrics else None
             try:
-                job = AnalysisJob.from_canonical(wire)
+                with span("setup", phases=phases):
+                    job = AnalysisJob.from_canonical(wire)
                 trace = traces.get(trace_ref)
                 if trace is None:
                     if trace_ref[0] == "shm" and faults.fire("shm", index):
                         raise RuntimeError(
                             f"injected shm attach failure for block {trace_ref[1]!r}"
                         )
-                    trace = _load_trace(trace_ref)
+                    with span("trace_load", phases=phases):
+                        trace = _load_trace(trace_ref)
                     traces[trace_ref] = trace
                     while len(traces) > _WORKER_TRACE_LRU:
                         _, evicted = traces.popitem(last=False)
@@ -218,12 +277,27 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                             evicted.close()
                 else:
                     traces.move_to_end(trace_ref)
-                result = job.run(trace)
-                result_dict = result_to_dict(result)
-                checksum = _payload_checksum(result_dict)
+                with span("kernel", phases=phases):
+                    result = job.run(trace)
+                with span("serialize", phases=phases):
+                    result_dict = result_to_dict(result)
+                    checksum = _payload_checksum(result_dict)
                 if faults.fire("corrupt", index):
                     result_dict = faults.corrupt_payload(result_dict)
-                payload = (result_dict, time.perf_counter() - start, checksum)
+                seconds = time.perf_counter() - start
+                if phases is not None:
+                    # Attribute inter-span dispatch overhead (cache lookups,
+                    # scheduler preemption between phases) to setup so the
+                    # phase times always sum to the journaled wall time.
+                    slack = seconds - sum(phases.values())
+                    if slack > 0.0:
+                        phases["setup"] = phases.get("setup", 0.0) + slack
+                payload = (
+                    result_dict,
+                    seconds,
+                    checksum,
+                    _job_telemetry(metrics, phases, queue_wait),
+                )
                 result_queue.put((JOB_DONE, worker_id, index, payload))
             except (KeyboardInterrupt, SystemExit):
                 raise
@@ -232,6 +306,7 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                     f"{type(error).__name__}: {error}",
                     traceback.format_exc(),
                     time.perf_counter() - start,
+                    _job_telemetry(metrics, phases, queue_wait),
                 )
                 result_queue.put((JOB_FAILED, worker_id, index, payload))
     except (KeyboardInterrupt, SystemExit):
@@ -269,12 +344,14 @@ def execute_serial(
     result_cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
     on_outcome: Optional[OutcomeListener] = None,
+    metrics: Optional[bool] = None,
 ) -> List[JobOutcome]:
     """In-process execution — the ``--jobs 1`` path. No subprocesses, no
     serialization round-trips beyond the result cache: exceptions surface
     with their original tracebacks, which keeps this the debuggable
     default. Forward analyses run on the store's columnar trace (the
     config-specialized kernels) when the store provides one."""
+    metrics = _resolve_metrics(metrics)
     emit = progress or _null_listener
     land = on_outcome or (lambda outcome: None)
     total = len(jobs)
@@ -282,10 +359,11 @@ def execute_serial(
     outcomes: List[JobOutcome] = []
     for index, job in enumerate(jobs):
         try:
-            if columnar is not None and job.prefers_columnar:
-                trace = columnar(job.workload, job.cap, optimize=job.optimize)
-            else:
-                trace = store.trace(job.workload, job.cap, optimize=job.optimize)
+            with span("trace_load"):
+                if columnar is not None and job.prefers_columnar:
+                    trace = columnar(job.workload, job.cap, optimize=job.optimize)
+                else:
+                    trace = store.trace(job.workload, job.cap, optimize=job.optimize)
         except Exception as error:  # noqa: BLE001 - bad workload spec, not a crash
             outcome = JobOutcome(
                 index,
@@ -307,8 +385,10 @@ def execute_serial(
             continue
         emit(JobEvent(JOB_STARTED, index, total, job))
         start = time.perf_counter()
+        phases: Optional[Dict[str, float]] = {} if metrics else None
         try:
-            result = job.run(trace)
+            with span("kernel", phases=phases):
+                result = job.run(trace)
         except Exception as error:  # noqa: BLE001 - match worker fault containment
             seconds = time.perf_counter() - start
             outcome = JobOutcome(
@@ -317,6 +397,7 @@ def execute_serial(
                 error=f"{type(error).__name__}: {error}",
                 detail=traceback.format_exc(),
                 seconds=seconds,
+                phases=phases,
             )
             outcomes.append(outcome)
             land(outcome)
@@ -325,7 +406,7 @@ def execute_serial(
         seconds = time.perf_counter() - start
         if result_cache is not None:
             result_cache.store(key, trace_digest, job, result)
-        outcome = JobOutcome(index, job, result=result, seconds=seconds)
+        outcome = JobOutcome(index, job, result=result, seconds=seconds, phases=phases)
         outcomes.append(outcome)
         land(outcome)
         emit(JobEvent(JOB_DONE, index, total, job, seconds))
@@ -344,6 +425,7 @@ def execute_jobs(
     on_outcome: Optional[OutcomeListener] = None,
     max_respawns: Optional[int] = None,
     shm_manifest=None,
+    metrics: Optional[bool] = None,
 ) -> List[JobOutcome]:
     """Execute a job grid, fanning out to ``njobs`` worker processes.
 
@@ -359,12 +441,14 @@ def execute_jobs(
     pool declares itself broken with :class:`PoolBrokenError`;
     ``shm_manifest`` (a :class:`~repro.engine.resilience.ShmManifest`)
     records every shared-memory block the parent creates so a SIGKILL'd
-    run's blocks can be swept by the next one.
+    run's blocks can be swept by the next one; ``metrics`` turns per-phase
+    instrumentation on (``None`` inherits the process/environment state).
     """
     if njobs < 1:
         raise ValueError(f"njobs must be >= 1, got {njobs}")
+    metrics = _resolve_metrics(metrics)
     if njobs == 1 or len(jobs) <= 1:
-        return execute_serial(jobs, store, result_cache, progress, on_outcome)
+        return execute_serial(jobs, store, result_cache, progress, on_outcome, metrics)
     if not getattr(store, "directory", None):
         raise EngineError(
             "parallel execution requires a disk-backed TraceStore "
@@ -432,9 +516,10 @@ def execute_jobs(
         ref = ("path", path)
         if columnar is not None:
             try:
-                block = columnar(
-                    job.workload, job.cap, optimize=job.optimize
-                ).to_shared_memory()
+                with span("shm_pack"):
+                    block = columnar(
+                        job.workload, job.cap, optimize=job.optimize
+                    ).to_shared_memory()
             except Exception:  # noqa: BLE001 - shm is an optimization, not a requirement
                 pass
             else:
@@ -443,8 +528,9 @@ def execute_jobs(
                     shm_manifest.register(block.name)
                 ref = ("shm", block.name)
         trace_refs[trace_key] = ref
-    tasks: List[Tuple[int, dict, Tuple[str, str]]] = [
-        (index, job.canonical(), trace_refs[job.trace_key])
+    enqueued_at = time.time() if metrics else None
+    tasks: List[Tuple[int, dict, Tuple[str, str], Optional[float]]] = [
+        (index, job.canonical(), trace_refs[job.trace_key], enqueued_at)
         for index, job in pending_tasks
     ]
 
@@ -472,12 +558,19 @@ def execute_jobs(
         next_worker_id += 1
         process = context.Process(
             target=_worker_main,
-            args=(worker_id, task_queue, result_queue),
+            args=(worker_id, task_queue, result_queue, metrics),
             daemon=True,
             name=f"paragraph-worker-{worker_id}",
         )
         process.start()
         workers[worker_id] = process
+        if metrics:
+            obs.inc("pool.spawns")
+            if worker_id >= worker_count:
+                obs.inc("pool.respawns")
+            live = obs.registry().gauge("pool.workers.live")
+            if len(workers) > live.value:
+                live.set(len(workers))
 
     for _ in range(worker_count):
         spawn_worker()
@@ -520,7 +613,8 @@ def execute_jobs(
             emit(JobEvent(JOB_STARTED, index, total, job, worker=worker_id))
         elif kind == JOB_DONE:
             running.pop(worker_id, None)
-            result_dict, seconds, checksum = payload
+            result_dict, seconds, checksum, telemetry = payload
+            phases, queue_wait = _absorb_telemetry(telemetry)
             if _payload_checksum(result_dict) != checksum:
                 finish(
                     JobOutcome(
@@ -530,6 +624,8 @@ def execute_jobs(
                         "(checksum mismatch)",
                         seconds=seconds,
                         worker=worker_id,
+                        phases=phases,
+                        queue_wait=queue_wait,
                     ),
                     JOB_FAILED,
                 )
@@ -539,20 +635,37 @@ def execute_jobs(
                 key, trace_digest = keys[index]
                 result_cache.store(key, trace_digest, job, result)
             finish(
-                JobOutcome(index, job, result=result, seconds=seconds, worker=worker_id),
+                JobOutcome(
+                    index,
+                    job,
+                    result=result,
+                    seconds=seconds,
+                    worker=worker_id,
+                    phases=phases,
+                    queue_wait=queue_wait,
+                ),
                 JOB_DONE,
             )
         elif kind == JOB_FAILED:
             running.pop(worker_id, None)
-            error, detail, seconds = payload
+            error, detail, seconds, telemetry = payload
+            phases, queue_wait = _absorb_telemetry(telemetry)
             finish(
                 JobOutcome(
-                    index, job, error=error, detail=detail, seconds=seconds, worker=worker_id
+                    index,
+                    job,
+                    error=error,
+                    detail=detail,
+                    seconds=seconds,
+                    worker=worker_id,
+                    phases=phases,
+                    queue_wait=queue_wait,
                 ),
                 JOB_FAILED,
             )
 
     def kill_worker(worker_id: int, index: int, error: str) -> None:
+        obs.inc("pool.worker_kills")
         entry = running.pop(worker_id, None)
         started_at = entry[1] if entry else time.perf_counter()
         process = workers.pop(worker_id, None)
@@ -622,6 +735,7 @@ def execute_jobs(
                     except queue_module.Empty:
                         drained = False
                 if worker_id in running:
+                    obs.inc("pool.worker_crashes")
                     index, _ = running[worker_id]
                     workers.pop(worker_id)
                     running.pop(worker_id)
@@ -644,6 +758,7 @@ def execute_jobs(
                     # beats the queue feeder thread). Replace it so the
                     # queue keeps draining; the idle backstop resolves any
                     # task it claimed silently.
+                    obs.inc("pool.worker_crashes")
                     workers.pop(worker_id)
                     spawn_worker()
     finally:

@@ -121,6 +121,18 @@ def console_listener(stream=None) -> ProgressListener:
     return listen
 
 
+def metrics_listener() -> ProgressListener:
+    """A listener that mirrors job lifecycle events into the active metrics
+    registry (``jobs.<kind>`` counters). No-ops when metrics are disabled,
+    so it is safe to fan out unconditionally."""
+    from repro.obs import metrics as obs
+
+    def listen(event: JobEvent) -> None:
+        obs.inc(f"jobs.{event.kind}")
+
+    return listen
+
+
 def fanout(*listeners: Optional[ProgressListener]) -> ProgressListener:
     """Combine listeners, skipping ``None`` entries."""
     active = [listener for listener in listeners if listener is not None]

@@ -61,6 +61,8 @@ from repro.engine.progress import (
     ProgressListener,
 )
 from repro.engine.serialize import result_from_dict, result_to_dict
+from repro.obs import metrics as obs
+from repro.obs.spans import span
 
 logger = logging.getLogger(__name__)
 
@@ -511,6 +513,7 @@ def execute_jobs_resilient(
     fail_fast: bool = False,
     manifest_dir: Optional[str] = None,
     sleep: Callable[[float], None] = time.sleep,
+    metrics: Optional[bool] = None,
 ) -> List[JobOutcome]:
     """Execute a grid with retries, journaling, and degradation.
 
@@ -557,6 +560,7 @@ def execute_jobs_resilient(
                 attempts=entry.get("attempts", 1),
                 replayed=True,
             )
+            obs.inc("journal.replayed")
             emit(JobEvent(JOB_REPLAYED, index, total, job))
 
     degraded = False
@@ -564,6 +568,7 @@ def execute_jobs_resilient(
     def degrade(reason: str) -> None:
         nonlocal degraded
         degraded = True
+        obs.inc("pool.degraded")
         logger.warning(
             "worker pool unhealthy (%s); degrading the remaining grid to "
             "in-process serial execution — slower, but the run completes",
@@ -621,6 +626,7 @@ def execute_jobs_resilient(
                             invalidate(job.workload, job.cap, optimize=job.optimize)
                     retry_queue.append(index)
                     retrying.add(index)
+                    obs.inc("retry.scheduled")
                     emit(
                         JobEvent(
                             JOB_RETRY, index, total, job,
@@ -629,6 +635,7 @@ def execute_jobs_resilient(
                     )
                     return
                 if category == TRANSIENT and retry.max_attempts > 1:
+                    obs.inc("jobs.quarantined")
                     outcome = dataclasses.replace(
                         outcome,
                         error=f"{outcome.error} "
@@ -655,6 +662,7 @@ def execute_jobs_resilient(
                     on_outcome=land,
                     max_respawns=max(4, 2 * worker_count),
                     shm_manifest=manifest,
+                    metrics=metrics,
                 )
             except PoolBrokenError as error:
                 degrade(str(error))
@@ -677,7 +685,8 @@ def execute_jobs_resilient(
                     for index in retry_queue
                 )
                 if delay > 0:
-                    sleep(delay)
+                    with span("retry_backoff"):
+                        sleep(delay)
     finally:
         if guard_context is not None:
             guard_context.__exit__(None, None, None)

@@ -80,6 +80,16 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="run every job even when some fail (default)",
     )
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="collect per-phase timings and cache/pool counters, exported "
+        "as JSONL (default path: <journal-dir>/<run-id>.metrics.jsonl; "
+        "render it later with 'report-run')",
+    )
 
 
 def _build_engine(args) -> ExperimentEngine:
@@ -95,10 +105,14 @@ def _build_engine(args) -> ExperimentEngine:
         journal_dir=args.journal_dir,
         resume=args.resume,
         fail_fast=args.fail_fast,
+        metrics=args.metrics is not None or None,
+        metrics_path=args.metrics or None,
     )
     if engine.run_id:
         verb = "resuming" if args.resume else "journaling"
         print(f"{verb} run {engine.run_id} (journal: {args.journal_dir})", file=sys.stderr)
+    if engine.metrics:
+        print(f"metrics: {engine.metrics_file}", file=sys.stderr)
     return engine
 
 
@@ -134,6 +148,28 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default="EXPERIMENTS.md")
     report.add_argument("--trace-dir", help="directory for cached binary traces")
     _add_engine_arguments(report)
+
+    report_run = sub.add_parser(
+        "report-run",
+        help="render the metrics report for a recorded run "
+        "(requires the run to have executed with --metrics)",
+    )
+    report_run.add_argument(
+        "run_id",
+        help="a run id (looked up under --journal-dir) or a direct path "
+        "to a .metrics.jsonl file",
+    )
+    report_run.add_argument(
+        "--journal-dir",
+        default=".",
+        help="directory holding <run-id>.metrics.jsonl files (default: .)",
+    )
+    report_run.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many slowest jobs to list (default: 10)",
+    )
 
     adhoc = sub.add_parser("analyze", help="analyze one workload or trace file")
     adhoc.add_argument(
@@ -238,6 +274,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         write_report(args.out, args.cap, _build_engine(args))
         print(f"wrote {args.out}")
+        return 0
+    if args.command == "report-run":
+        from repro.obs.export import MetricsExportError
+        from repro.obs.report import report_run
+
+        try:
+            print(report_run(args.run_id, journal_dir=args.journal_dir, top=args.top))
+        except (OSError, MetricsExportError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         return 0
     return _command_analyze(args)
 

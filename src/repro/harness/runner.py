@@ -20,6 +20,8 @@ import logging
 import os
 from typing import Dict, Optional, Tuple
 
+from repro.obs import metrics as obs
+from repro.obs.spans import span
 from repro.trace.buffer import TraceBuffer
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.io import (
@@ -68,12 +70,14 @@ class TraceStore:
         key = (workload.name, cap, optimize)
         cached = self._memory.get(key)
         if cached is not None:
+            obs.inc("trace_store.memory_hit")
             return cached
         path = self._path(workload.name, cap, optimize)
         trace = None
         if path and os.path.exists(path):
             try:
-                trace = read_trace_file(path)
+                with span("trace_decode"):
+                    trace = read_trace_file(path)
             except TraceFormatError as error:
                 logger.warning(
                     "stale trace cache %s (%s); regenerating", path, error
@@ -87,9 +91,13 @@ class TraceStore:
                     )
                     trace = None
         if trace is None:
-            trace = workload.trace(max_instructions=cap, optimize=optimize)
+            obs.inc("trace_store.generate")
+            with span("trace_generate"):
+                trace = workload.trace(max_instructions=cap, optimize=optimize)
             if path:
                 write_trace_file(path, trace)
+        else:
+            obs.inc("trace_store.disk_hit")
         self._memory[key] = trace
         return trace
 
@@ -109,7 +117,9 @@ class TraceStore:
         key = (name, cap, optimize)
         cached = self._columnar.get(key)
         if cached is not None:
+            obs.inc("trace_store.memory_hit")
             return cached
+        obs.inc("trace_store.columnar_build")
         columnar = None
         buffer = self._memory.get(key)
         if buffer is not None:
@@ -118,7 +128,8 @@ class TraceStore:
             path = self._path(name, cap, optimize)
             if path and os.path.exists(path):
                 try:
-                    columnar = ColumnarTrace.from_file(path)
+                    with span("trace_decode"):
+                        columnar = ColumnarTrace.from_file(path)
                 except TraceFormatError as error:
                     logger.warning(
                         "stale trace cache %s (%s); regenerating", path, error

@@ -1,0 +1,82 @@
+"""Observability layer: metrics, spans, and per-run reports.
+
+``repro.obs`` instruments the execution stack — pool, caches, trace
+store, kernels, resilience — without depending on any of it. Everything
+is off by default: until :func:`enable` is called (or the
+``REPRO_METRICS`` environment switch is set and the engine honors it),
+every instrument is a shared no-op singleton and the instrumented hot
+paths pay one guarded call at most.
+
+Public surface:
+
+- :class:`MetricsRegistry` / :data:`NULL_REGISTRY` — counters, gauges,
+  fixed-bucket histograms; snapshot/drain/merge for cross-process
+  aggregation (:mod:`repro.obs.metrics`);
+- :func:`span` — wall+CPU phase timing (:mod:`repro.obs.spans`);
+- :class:`MetricsWriter` / :func:`load_run` — per-run JSONL export
+  (:mod:`repro.obs.export`);
+- :func:`report_run` / :func:`render_run_report` — the ``repro
+  report-run`` breakdown (:mod:`repro.obs.report`).
+"""
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    MetricsExportError,
+    MetricsWriter,
+    load_run,
+    metrics_path,
+)
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    ENV_METRICS,
+    NULL_REGISTRY,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    enabled,
+    env_enabled,
+    gauge_set,
+    inc,
+    observe,
+    registry,
+    set_registry,
+)
+from repro.obs.report import render_run_report, report_run, resolve_metrics_file
+from repro.obs.spans import NULL_SPAN, Span, span
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "ENV_METRICS",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsExportError",
+    "MetricsRegistry",
+    "MetricsWriter",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullRegistry",
+    "Span",
+    "TIME_BUCKETS",
+    "disable",
+    "enable",
+    "enabled",
+    "env_enabled",
+    "gauge_set",
+    "inc",
+    "load_run",
+    "metrics_path",
+    "observe",
+    "registry",
+    "render_run_report",
+    "report_run",
+    "resolve_metrics_file",
+    "set_registry",
+    "span",
+]

@@ -1,0 +1,333 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+Zero-dependency observability core for the experiment engine. One
+:class:`MetricsRegistry` lives per process; instrumentation points reach it
+through the module-level accessors (:func:`registry`, :func:`enabled`) so
+the whole subsystem can be switched off — the default — at a single place.
+
+Disabled-mode contract: when metrics are off, :func:`registry` returns the
+shared :data:`NULL_REGISTRY` whose instruments are shared no-op singletons.
+No names are interned, no objects are allocated per call, and every
+operation is a constant-time method call — the hot paths of the engine and
+the kernels stay within their <1% overhead budget without any call-site
+``if`` beyond the ones this module provides (:func:`inc`, :func:`observe`,
+:func:`gauge_set` check :func:`enabled` internally).
+
+Merge semantics (cross-process): workers serialize their registry with
+:meth:`MetricsRegistry.drain` (snapshot + reset, so repeated drains never
+double-count) and ship the snapshot over the existing result queue; the
+parent folds it in with :meth:`MetricsRegistry.merge`. Counters and
+histogram buckets add; gauges keep the maximum (every engine gauge is a
+high-watermark); histograms must agree on bucket edges — they always do,
+because both sides run the same code.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+#: Snapshot layout version (bump when the dict shape changes).
+SNAPSHOT_SCHEMA = 1
+
+#: Environment switch: any value but ""/"0" enables metrics process-wide
+#: (how the CI fault-injection matrix runs with instrumentation on).
+ENV_METRICS = "REPRO_METRICS"
+
+#: Default histogram bucket upper edges for wall/CPU seconds: geometric,
+#: sub-millisecond to a minute, matching the spread between a cache hit
+#: and a production-cap analysis job.
+TIME_BUCKETS: Tuple[float, ...] = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+#: Default buckets for small-integer distributions (attempt counts,
+#: queue depths).
+COUNT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 5, 10, 20, 50)
+
+
+class Counter:
+    """Monotonic counter (floats allowed — several track seconds)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value; merges across processes as a maximum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with inclusive upper edges.
+
+    A value lands in the first bucket whose edge is >= the value
+    (``observe(edge)`` counts in that edge's bucket); values above the
+    last edge land in the overflow bucket, so ``counts`` always has one
+    more entry than ``edges`` and every observation is counted somewhere.
+    """
+
+    __slots__ = ("edges", "counts", "total", "count")
+
+    def __init__(self, edges: Sequence[float] = TIME_BUCKETS) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError(f"histogram edges must be sorted and non-empty: {edges!r}")
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> Iterator[Tuple[Optional[float], int]]:
+        """``(upper_edge, count)`` pairs; the overflow edge is ``None``."""
+        for edge, count in zip(self.edges, self.counts):
+            yield edge, count
+        yield None, self.counts[-1]
+
+
+class MetricsRegistry:
+    """Named instruments for one process, lazily created on first use."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, edges: Sequence[float] = TIME_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(edges)
+        return instrument
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument (the wire/merge format)."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {name: c.value for name, c in self._counters.items()},
+            "gauges": {name: g.value for name, g in self._gauges.items()},
+            "histograms": {
+                name: {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for name, h in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping the registered names."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0
+        for histogram in self._histograms.values():
+            histogram.counts = [0] * len(histogram.counts)
+            histogram.total = 0.0
+            histogram.count = 0
+
+    def drain(self) -> dict:
+        """Snapshot then reset — the worker-side handoff: each drain ships
+        only the delta since the previous one, so the parent can merge
+        per-job without double counting."""
+        snap = self.snapshot()
+        self.reset()
+        return snap
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        """Fold a :meth:`snapshot` into this registry (counters add,
+        gauges keep the max, histogram buckets add)."""
+        if not snapshot:
+            return
+        if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"metrics snapshot schema {snapshot.get('schema')!r}, "
+                f"expected {SNAPSHOT_SCHEMA}"
+            )
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if value > gauge.value:
+                gauge.value = value
+        for name, dump in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, dump["edges"])
+            if list(histogram.edges) != list(dump["edges"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket edges differ: "
+                    f"{list(histogram.edges)} vs {dump['edges']}"
+                )
+            for index, count in enumerate(dump["counts"]):
+                histogram.counts[index] += count
+            histogram.total += dump["total"]
+            histogram.count += dump["count"]
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        return None
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+    def inc(self, amount: float = 1) -> None:
+        return None
+
+    def dec(self, amount: float = 1) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Disabled-mode registry: every accessor returns a shared no-op
+    singleton; snapshots are empty; merges are dropped. Allocation-free
+    after module import."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, edges: Sequence[float] = TIME_BUCKETS) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {"schema": SNAPSHOT_SCHEMA, "counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        return None
+
+    def drain(self) -> dict:
+        return self.snapshot()
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        return None
+
+
+#: The shared disabled-mode registry.
+NULL_REGISTRY = NullRegistry()
+
+_registry = NULL_REGISTRY
+
+
+def registry():
+    """The active registry (:data:`NULL_REGISTRY` when metrics are off)."""
+    return _registry
+
+
+def enabled() -> bool:
+    """True when a live registry is installed."""
+    return _registry.enabled
+
+
+def env_enabled() -> bool:
+    """True when the :data:`ENV_METRICS` environment switch is set."""
+    return os.environ.get(ENV_METRICS, "") not in ("", "0")
+
+
+def enable(target: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install a live registry (idempotent: an already-live registry is
+    kept unless an explicit ``target`` replaces it)."""
+    global _registry
+    if target is not None:
+        _registry = target
+    elif not _registry.enabled:
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def disable() -> None:
+    """Return to the disabled-mode null registry."""
+    global _registry
+    _registry = NULL_REGISTRY
+
+
+def set_registry(target) -> None:
+    """Install an arbitrary registry object (worker per-job swaps, tests)."""
+    global _registry
+    _registry = target
+
+
+# -- checked-enabled helpers (safe to call unconditionally) --------------------
+
+
+def inc(name: str, amount: float = 1) -> None:
+    """Bump a counter when metrics are on; a no-op otherwise."""
+    if _registry.enabled:
+        _registry.counter(name).inc(amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a gauge when metrics are on; a no-op otherwise."""
+    if _registry.enabled:
+        _registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float, edges: Sequence[float] = TIME_BUCKETS) -> None:
+    """Record a histogram observation when metrics are on."""
+    if _registry.enabled:
+        _registry.histogram(name, edges).observe(value)

@@ -284,6 +284,10 @@ class ColumnarTrace:
         """
         from multiprocessing import shared_memory
 
+        from repro.obs import metrics as obs
+
+        obs.inc("trace_shm.packs")
+        obs.inc("trace_shm.packed_bytes", self.nbytes())
         segments = self.segments
         shm = shared_memory.SharedMemory(name=name, create=True, size=self.nbytes())
         buf = shm.buf
@@ -321,6 +325,10 @@ class ColumnarTrace:
         its creator — attaching never unlinks.
         """
         from multiprocessing import shared_memory
+
+        from repro.obs import metrics as obs
+
+        obs.inc("trace_shm.attaches")
 
         try:
             # Python >= 3.13: opt out of resource tracking for attachments.

@@ -289,6 +289,9 @@ def read_trace_file(path) -> TraceBuffer:
     """Read a whole trace file into a :class:`TraceBuffer`, verifying the
     record count and content digest; any mismatch raises
     :class:`TraceFormatError` rather than returning corrupt data."""
+    from repro.obs import metrics as obs
+
+    obs.inc("trace_io.file_reads")
     with open(path, "rb") as stream:
         segments, count, digest = read_header(stream)
         hasher = _digest_hasher(segments, count)

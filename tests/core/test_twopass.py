@@ -4,7 +4,6 @@ from repro.core.analyzer import analyze
 from repro.core.config import AnalysisConfig
 from repro.core.latency import LatencyTable
 from repro.core.twopass import compute_kill_lists, twopass_analyze
-from repro.isa.opclasses import OpClass
 from repro.trace.synthetic import TraceBuilder, random_trace
 
 

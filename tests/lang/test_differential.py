@@ -9,7 +9,6 @@ anywhere in the lexer/parser/sema/codegen/assembler/machine stack fails.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.asm.assembler import assemble
 from repro.cpu.machine import Machine
 from repro.lang.compiler import compile_source
 

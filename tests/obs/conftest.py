@@ -1,0 +1,14 @@
+"""Every obs test leaves the process-global registry the way it found
+it: disabled. Engine helpers (``ExperimentEngine(metrics=True)``) install
+a live registry as a side effect, so the reset is unconditional."""
+
+import pytest
+
+from repro.obs import metrics as obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics_state(monkeypatch):
+    monkeypatch.delenv(obs.ENV_METRICS, raising=False)
+    yield
+    obs.disable()

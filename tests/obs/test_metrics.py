@@ -1,0 +1,191 @@
+"""Metrics core: instruments, snapshot/merge semantics, disabled-mode
+no-op guarantees."""
+
+import pytest
+
+from repro.obs import metrics as obs
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.spans import NULL_SPAN, span
+
+
+class TestHistogram:
+    def test_edges_are_inclusive_upper_bounds(self):
+        h = Histogram(edges=(1.0, 2.0, 5.0))
+        h.observe(1.0)  # lands exactly on the first edge
+        h.observe(1.5)
+        h.observe(2.0)
+        h.observe(5.0)
+        assert h.counts == [1, 2, 1, 0]
+
+    def test_overflow_bucket_catches_values_past_last_edge(self):
+        h = Histogram(edges=(1.0, 2.0))
+        h.observe(100.0)
+        h.observe(2.0001)
+        assert h.counts == [0, 0, 2]
+        assert list(h.buckets()) == [(1.0, 0), (2.0, 0), (None, 2)]
+
+    def test_mean_and_count(self):
+        h = Histogram(edges=COUNT_BUCKETS)
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.count == 2
+        assert h.mean == 3.0
+
+    def test_unsorted_or_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=())
+        with pytest.raises(ValueError):
+            Histogram(edges=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_instruments_are_lazily_interned(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_snapshot_roundtrips_through_merge(self):
+        source = MetricsRegistry()
+        source.counter("jobs").inc(3)
+        source.gauge("peak").set(7)
+        source.histogram("t", edges=(1.0, 2.0)).observe(1.5)
+        target = MetricsRegistry()
+        target.counter("jobs").inc(1)
+        target.gauge("peak").set(9)
+        target.merge(source.snapshot())
+        assert target.counter("jobs").value == 4
+        assert target.gauge("peak").value == 9  # gauges keep the max
+        assert target.histogram("t", edges=(1.0, 2.0)).counts == [0, 1, 0]
+
+    def test_drain_never_double_counts(self):
+        r = MetricsRegistry()
+        r.counter("jobs").inc(5)
+        parent = MetricsRegistry()
+        parent.merge(r.drain())
+        parent.merge(r.drain())  # second drain ships an empty delta
+        assert parent.counter("jobs").value == 5
+
+    def test_merge_rejects_mismatched_histogram_edges(self):
+        a = MetricsRegistry()
+        a.histogram("t", edges=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("t", edges=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="edges differ"):
+            a.merge(b.snapshot())
+
+    def test_merge_rejects_unknown_schema(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError, match="schema"):
+            r.merge({"schema": 999, "counters": {}})
+        r.merge(None)  # empty/None snapshots are dropped silently
+        r.merge({})
+
+    def test_reset_keeps_names_but_zeroes_values(self):
+        r = MetricsRegistry()
+        c = r.counter("jobs")
+        c.inc(4)
+        h = r.histogram("t", edges=(1.0,))
+        h.observe(0.5)
+        r.reset()
+        assert c.value == 0
+        assert h.counts == [0, 0] and h.total == 0.0 and h.count == 0
+        assert r.counter("jobs") is c
+
+
+class TestDisabledMode:
+    def test_disabled_registry_is_the_shared_null_singleton(self):
+        obs.disable()
+        assert obs.registry() is NULL_REGISTRY
+        assert not obs.enabled()
+
+    def test_null_instruments_are_shared_singletons(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b")
+        assert null.gauge("a") is null.gauge("b")
+        assert null.histogram("a") is null.histogram("b")
+        null.counter("a").inc()
+        null.gauge("a").set(3)
+        null.histogram("a").observe(1.0)
+        assert null.snapshot()["counters"] == {}
+
+    def test_checked_helpers_are_noops_when_disabled(self):
+        obs.disable()
+        obs.inc("jobs")
+        obs.gauge_set("peak", 3)
+        obs.observe("t", 0.5)
+        live = obs.enable()
+        assert live.snapshot()["counters"] == {}
+
+    def test_span_returns_null_singleton_when_disabled(self):
+        obs.disable()
+        assert span("kernel") is NULL_SPAN
+        with span("kernel"):
+            pass  # must be a safe no-op
+
+    def test_span_is_live_when_phases_requested_even_if_disabled(self):
+        obs.disable()
+        phases = {}
+        with span("kernel", phases=phases):
+            pass
+        assert "kernel" in phases
+
+
+class TestModuleSwitches:
+    def test_enable_is_idempotent(self):
+        first = obs.enable()
+        first.counter("jobs").inc()
+        assert obs.enable() is first
+
+    def test_enable_with_explicit_target_replaces(self):
+        obs.enable()
+        fresh = MetricsRegistry()
+        assert obs.enable(fresh) is fresh
+        assert obs.registry() is fresh
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.delenv(obs.ENV_METRICS, raising=False)
+        assert not obs.env_enabled()
+        monkeypatch.setenv(obs.ENV_METRICS, "0")
+        assert not obs.env_enabled()
+        monkeypatch.setenv(obs.ENV_METRICS, "1")
+        assert obs.env_enabled()
+
+    def test_checked_helpers_record_when_enabled(self):
+        live = obs.enable()
+        obs.inc("jobs", 2)
+        obs.gauge_set("peak", 5)
+        obs.observe("t", 0.5, edges=(1.0,))
+        snap = live.snapshot()
+        assert snap["counters"]["jobs"] == 2
+        assert snap["gauges"]["peak"] == 5
+        assert snap["histograms"]["t"]["count"] == 1
+
+
+class TestSpanRecording:
+    def test_span_records_wall_cpu_and_count(self):
+        live = obs.enable()
+        with span("phase.x"):
+            sum(range(1000))
+        snap = live.snapshot()
+        assert snap["counters"]["span.phase.x.count"] == 1
+        assert snap["histograms"]["span.phase.x.wall"]["count"] == 1
+        assert snap["histograms"]["span.phase.x.cpu"]["count"] == 1
+        assert snap["histograms"]["span.phase.x.wall"]["total"] >= 0.0
+
+    def test_span_accumulates_phases_across_uses(self):
+        obs.enable()
+        phases = {}
+        with span("kernel", phases=phases):
+            pass
+        first = phases["kernel"]
+        with span("kernel", phases=phases):
+            pass
+        assert phases["kernel"] > first

@@ -147,7 +147,6 @@ class TestSharedMemory:
 
     def test_truncated_block_rejected(self, columnar):
         from multiprocessing import shared_memory
-        import struct
 
         donor = columnar.to_shared_memory()
         try:
