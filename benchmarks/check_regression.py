@@ -22,10 +22,26 @@ import json
 import sys
 
 
+class MetricsFormatError(Exception):
+    """A benchmark JSON file is missing a key this script needs."""
+
+
 def load_means(path: str) -> dict:
     with open(path) as handle:
         data = json.load(handle)
-    return {bench["name"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])}
+    means = {}
+    for position, bench in enumerate(data.get("benchmarks", [])):
+        try:
+            means[bench["name"]] = bench["stats"]["mean"]
+        except (KeyError, TypeError) as error:
+            label = f"entry {position}"
+            if isinstance(bench, dict) and "name" in bench:
+                label = bench["name"]
+            raise MetricsFormatError(
+                f"{path}: benchmark {label!r} has no 'stats'/'mean' metric "
+                "(is this pytest-benchmark JSON?)"
+            ) from error
+    return means
 
 
 def main(argv=None) -> int:
@@ -44,8 +60,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    fresh = load_means(args.results)
-    baseline = load_means(args.baseline)
+    try:
+        fresh = load_means(args.results)
+        baseline = load_means(args.baseline)
+    except MetricsFormatError as error:
+        print(f"check_regression: {error}", file=sys.stderr)
+        return 2  # malformed input is an error even though comparisons never gate
     shared = sorted(set(fresh) & set(baseline))
     if not shared:
         print("::warning::no benchmarks shared with the baseline; nothing compared")

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the paragraph CLI (see :mod:`repro.harness.cli`)."""
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

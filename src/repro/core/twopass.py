@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.config import AnalysisConfig
+from repro.core.config import OPTIMISTIC, AnalysisConfig
 from repro.core.reference import ReferenceAnalyzer
 from repro.core.results import AnalysisResult
 from repro.isa.opclasses import OpClass, PLACED_CLASSES
@@ -30,14 +30,17 @@ from repro.trace.segments import DEFAULT_SEGMENTS, SegmentMap
 
 
 def compute_kill_lists(
-    records: Sequence, branch_reads: bool = False
+    records: Sequence, branch_reads: bool = False, optimistic_syscalls: bool = False
 ) -> List[Tuple[int, ...]]:
     """Reverse pass: for each record index, the source locations whose
     current value is read for the last time by that record.
 
     ``branch_reads`` marks conditional-branch source registers as reads;
     needed when a branch predictor is configured (misprediction firewalls
-    peek at branch source levels).
+    peek at branch source levels). ``optimistic_syscalls`` skips syscall
+    records entirely, mirroring the forward pass under the optimistic
+    policy: their destinations never rebind a location, so treating them
+    as kills would evict values that are still read afterwards.
     """
     read_later = {}
     kills: List[Tuple[int, ...]] = [()] * len(records)
@@ -51,6 +54,8 @@ def compute_kill_lists(
                 for src in record[1]:
                     read_later[src] = True
             continue
+        if opclass == syscall and optimistic_syscalls:
+            continue  # the forward pass ignores the whole record
         for dest in record[2]:
             read_later[dest] = False
         if opclass == syscall:
@@ -81,7 +86,11 @@ def twopass_analyze(
     if segments is None:
         segments = getattr(trace, "segments", DEFAULT_SEGMENTS)
     records = trace.records if hasattr(trace, "records") else list(trace)
-    kills = compute_kill_lists(records, branch_reads=config.branch_predictor is not None)
+    kills = compute_kill_lists(
+        records,
+        branch_reads=config.branch_predictor is not None,
+        optimistic_syscalls=config.syscall_policy == OPTIMISTIC,
+    )
 
     analyzer = ReferenceAnalyzer(config, segments)
     for index, record in enumerate(records):

@@ -27,13 +27,64 @@ from repro.core.twopass import twopass_analyze
 from repro.trace.buffer import TraceBuffer
 from repro.trace.columnar import ColumnarTrace
 
+
+def _analyze_legacy(trace, config: AnalysisConfig) -> AnalysisResult:
+    """The streaming hot loop, forced onto record tuples (``forward``
+    would route a columnar trace to the kernels). Late-binds through the
+    module attribute so the verification harness can mutate it."""
+    from repro.core import analyzer
+
+    if isinstance(trace, ColumnarTrace):
+        trace = trace.to_buffer()
+    return analyzer.analyze(trace, config)
+
+
+def _analyze_columnar(trace, config: AnalysisConfig) -> AnalysisResult:
+    """The config-specialized columnar kernels, forced for every config
+    (including generic ones ``forward`` would bounce back to tuples)."""
+    from repro.core import kernels
+
+    if not isinstance(trace, ColumnarTrace):
+        trace = ColumnarTrace.from_buffer(trace)
+    return kernels.analyze_columnar(trace, config)
+
+
+def _analyze_reference(trace, config: AnalysisConfig) -> AnalysisResult:
+    from repro.core.reference import reference_analyze
+
+    if isinstance(trace, ColumnarTrace):
+        trace = trace.to_buffer()
+    return reference_analyze(trace, config)
+
+
+def _analyze_oracle(trace, config: AnalysisConfig) -> AnalysisResult:
+    # Imported lazily: repro.verify imports this module for METHODS.
+    from repro.verify.oracle import oracle_analyze
+
+    if isinstance(trace, ColumnarTrace):
+        trace = trace.to_buffer()
+    return oracle_analyze(trace, config)
+
+
 #: Analysis methods a job may request. Values take ``(trace, config)`` and
-#: return an :class:`AnalysisResult`; both entries produce identical results
-#: except for ``peak_live_well`` (see :mod:`repro.core.twopass`).
+#: return an :class:`AnalysisResult`. ``forward`` and ``twopass`` are the
+#: production pair (identical results except ``peak_live_well``, see
+#: :mod:`repro.core.twopass`); the rest pin one implementation each for
+#: the differential verification harness (:mod:`repro.verify`) — ``legacy``
+#: (streaming loop on tuples), ``columnar`` (kernels, every config),
+#: ``reference`` (readable live-well pass), and ``oracle`` (explicit DDG +
+#: longest path; sentinel ``firewalls``/``peak_live_well``).
 METHODS: Dict[str, Callable[[TraceBuffer, AnalysisConfig], AnalysisResult]] = {
     "forward": analyze,
     "twopass": twopass_analyze,
+    "legacy": _analyze_legacy,
+    "columnar": _analyze_columnar,
+    "reference": _analyze_reference,
+    "oracle": _analyze_oracle,
 }
+
+#: Methods whose fastest input is a :class:`ColumnarTrace`.
+_COLUMNAR_METHODS = frozenset({"forward", "columnar"})
 
 
 @dataclass(frozen=True)
@@ -44,8 +95,9 @@ class AnalysisJob:
         workload: suite workload name (resolved in the worker process).
         cap: instruction cap — the first ``cap`` dynamic instructions.
         config: the Paragraph configuration to analyze under.
-        method: ``"forward"`` (streaming, method 2) or ``"twopass"``
-            (reverse-annotated, method 1).
+        method: ``"forward"`` (streaming, method 2), ``"twopass"``
+            (reverse-annotated, method 1), or one of the pinned
+            verification methods in :data:`METHODS`.
         optimize: analyze the compiler-optimized trace of the workload
             (the abl-compiler grid axis).
     """
@@ -124,9 +176,10 @@ class AnalysisJob:
     def prefers_columnar(self) -> bool:
         """True when the job's method runs fastest on a
         :class:`~repro.trace.columnar.ColumnarTrace` (the forward analyzer
-        dispatches to the config-specialized kernels); the two-pass method
-        needs the materialized record list for its reverse scan."""
-        return self.method == "forward"
+        dispatches to the config-specialized kernels, and the ``columnar``
+        method requires one); tuple-scanning methods need the materialized
+        record list."""
+        return self.method in _COLUMNAR_METHODS
 
     def run(self, trace) -> AnalysisResult:
         """Execute this job against an already-loaded trace.

@@ -5,7 +5,9 @@ Subcommands:
 - ``list`` — available experiments and workloads;
 - ``run`` — run experiments and print/save their tables;
 - ``analyze`` — ad-hoc Paragraph analysis of one workload under explicit
-  switches (the direct equivalent of invoking the original tool).
+  switches (the direct equivalent of invoking the original tool);
+- ``verify`` — property-based differential verification of the analyzer
+  implementations (see :mod:`repro.verify`).
 """
 
 from __future__ import annotations
@@ -171,10 +173,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="how many slowest jobs to list (default: 10)",
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="property-based differential verification of the analyzers "
+        "(random cases, metamorphic invariants, shrunk counterexamples)",
+    )
+    verify.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    verify.add_argument(
+        "--cases", type=int, default=200, help="generated cases (default: 200)"
+    )
+    verify.add_argument(
+        "--no-shrink",
+        dest="shrink",
+        action="store_false",
+        help="persist failing traces as generated, without greedy shrinking",
+    )
+    verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="analysis worker processes (1 = in-process; required for --mutate)",
+    )
+    verify.add_argument(
+        "--artifact-dir",
+        default="results/verify",
+        help="where failing cases are persisted as replayable .pgt2 + .json "
+        "pairs (default: %(default)s)",
+    )
+    verify.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="stop after this many failing cases (default: %(default)s)",
+    )
+    verify.add_argument(
+        "--replay",
+        metavar="ARTIFACT",
+        help="re-run verification on a persisted counterexample (.pgt2 or "
+        ".json) instead of fuzzing",
+    )
+    verify.add_argument(
+        "--mutate",
+        metavar="NAME",
+        help="self-test: run with a deliberately injected analyzer bug "
+        "(see repro.verify.mutations; forces --jobs 1)",
+    )
+    verify.add_argument(
+        "--progress", action="store_true", help="print per-case progress (stderr)"
+    )
+
     adhoc = sub.add_parser("analyze", help="analyze one workload or trace file")
     adhoc.add_argument(
         "workload",
-        help=f"a suite workload ({', '.join(SUITE_NAMES)}) or a .pgt trace file",
+        help=f"a suite workload ({', '.join(SUITE_NAMES)}) or a .pgt/.pgt2 "
+        "trace file",
     )
     adhoc.add_argument("--cap", type=int, default=DEFAULT_CAP)
     adhoc.add_argument("--window", type=int, default=None)
@@ -224,8 +276,71 @@ def _command_run(args) -> int:
     return 0
 
 
+def _command_verify(args) -> int:
+    from contextlib import nullcontext
+
+    from repro.verify.artifacts import replay_artifact
+    from repro.verify.harness import run_verification
+    from repro.verify.mutations import MUTATIONS, apply_mutation
+
+    if args.replay:
+        failures = replay_artifact(args.replay)
+        if not failures:
+            print(f"replay {args.replay}: no longer fails")
+            return 0
+        print(f"replay {args.replay}: still failing")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+
+    mutation = nullcontext()
+    if args.mutate:
+        if args.mutate not in MUTATIONS:
+            print(
+                f"error: unknown mutation {args.mutate!r}; "
+                f"choose from {', '.join(sorted(MUTATIONS))}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.jobs != 1:
+            print(
+                "note: --mutate forces --jobs 1 (mutations are in-process)",
+                file=sys.stderr,
+            )
+            args.jobs = 1
+        mutation = apply_mutation(args.mutate)
+
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            if done % 50 == 0 or done == total:
+                print(f"verify: {done}/{total} cases evaluated", file=sys.stderr)
+
+    with mutation:
+        summary = run_verification(
+            seed=args.seed,
+            cases=args.cases,
+            shrink=args.shrink,
+            artifact_dir=args.artifact_dir,
+            jobs=args.jobs,
+            max_failures=args.max_failures,
+            progress=progress,
+        )
+    print(summary.describe())
+    if args.mutate:
+        # Self-test semantics: the injected bug MUST be caught.
+        if summary.ok:
+            print(
+                f"error: mutation {args.mutate!r} was NOT caught", file=sys.stderr
+            )
+            return 1
+        print(f"mutation {args.mutate!r} caught, as expected")
+        return 0
+    return 0 if summary.ok else 1
+
+
 def _command_analyze(args) -> int:
-    if args.workload.endswith(".pgt"):
+    if args.workload.endswith((".pgt", ".pgt2")):
         from repro.trace.io import read_trace_file
 
         trace = read_trace_file(args.workload).head(args.cap)
@@ -275,6 +390,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         write_report(args.out, args.cap, _build_engine(args))
         print(f"wrote {args.out}")
         return 0
+    if args.command == "verify":
+        return _command_verify(args)
     if args.command == "report-run":
         from repro.obs.export import MetricsExportError
         from repro.obs.report import report_run

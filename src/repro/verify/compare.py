@@ -1,0 +1,73 @@
+"""Field-wise differential comparison of analysis results.
+
+The four production implementations promise *identical* results, with two
+documented exceptions, and the oracle promises a *subset* of the fields:
+
+- ``twopass`` reclaims live-well entries after their last use, so its
+  ``peak_live_well`` is legitimately smaller — masked;
+- the oracle has no live well and no firewall tally (it reports ``-1``
+  sentinels) and never collects lifetimes — compared only on the fields it
+  defines.
+
+Comparison happens on :func:`~repro.engine.serialize.result_to_dict`
+encodings (the same canonical form the engine's byte-identity contract
+uses), so "equal" here means equal under the strictest encoding the
+repository already has. The ``config`` entry is dropped — every
+comparison is within one case, where the config is shared by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.results import AnalysisResult
+from repro.engine.serialize import result_to_dict
+
+#: Fields the oracle defines (everything else is a sentinel).
+ORACLE_FIELDS = (
+    "records_processed",
+    "placed_operations",
+    "critical_path_length",
+    "profile",
+    "syscalls",
+    "branches",
+    "mispredictions",
+)
+
+#: Per-implementation field masks: keys dropped before comparison.
+MASKED_FIELDS: Dict[str, Sequence[str]] = {
+    "twopass": ("peak_live_well",),
+}
+
+
+def result_view(result: AnalysisResult, method: str) -> dict:
+    """The canonical comparison view of ``result`` for ``method``."""
+    view = result_to_dict(result)
+    view.pop("config", None)
+    if method == "oracle":
+        return {key: view[key] for key in ORACLE_FIELDS}
+    for key in MASKED_FIELDS.get(method, ()):
+        view.pop(key, None)
+    return view
+
+
+def diff_results(
+    baseline_name: str,
+    baseline: AnalysisResult,
+    method: str,
+    result: AnalysisResult,
+) -> List[str]:
+    """Human-readable field mismatches of ``result`` against ``baseline``
+    (empty when they agree on every field ``method`` promises)."""
+    expected = result_view(baseline, baseline_name)
+    actual = result_view(result, method)
+    mismatches = []
+    for key in actual:
+        if key not in expected:
+            continue
+        if actual[key] != expected[key]:
+            mismatches.append(
+                f"{method} vs {baseline_name}: {key} = {actual[key]!r}, "
+                f"expected {expected[key]!r}"
+            )
+    return mismatches

@@ -1,0 +1,110 @@
+"""Deliberately buggy analyzer variants — the harness's own smoke test.
+
+A verification harness that has never caught a bug is unverified itself.
+These context managers monkeypatch a *known* off-by-one into one
+implementation and restore the original on exit; tests (and ``paragraph
+verify --mutate <name>``) assert the harness catches the mutant with a
+shrunk, persisted counterexample. Because the patches live in this
+process, mutation runs must use ``--jobs 1`` (the in-process engine
+path); worker processes would import the unmutated modules.
+
+Mutations:
+
+- ``kernel-load-skew`` — every columnar kernel places loads one level too
+  deep (the canonical off-by-one: the real kernel runs with the LOAD
+  latency raised by one, which perturbs exactly the load placement term
+  of the rule). Caught by the ``columnar`` vs ``legacy`` differential
+  whenever a load is at or feeds the critical path.
+- ``legacy-war-loss`` — the streaming analyzer forgets write-after-read
+  constraints (it analyzes as if every storage class were renamed).
+  Caught on any case with renaming off and a binding WAR hazard.
+
+Both patch through module attributes that the call sites late-bind
+(``kernels._dispatch`` resolves ``_kernel_*`` as globals per call;
+:data:`repro.engine.jobs.METHODS` wrappers fetch ``analyzer.analyze`` per
+call), so no reload tricks are needed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import replace
+
+from repro.core.config import AnalysisConfig
+from repro.isa.opclasses import OpClass
+
+
+def _deepened_loads(config: AnalysisConfig) -> AnalysisConfig:
+    latency = config.latency
+    return config.derive(
+        latency=latency.with_overrides(LOAD=latency.steps[OpClass.LOAD] + 1)
+    )
+
+
+@contextmanager
+def mutate_kernel_load_skew():
+    """Columnar kernels place every load one level too deep."""
+    from repro.core import kernels
+
+    originals = {
+        name: getattr(kernels, name)
+        for name in ("_kernel_dataflow", "_kernel_windowed", "_kernel_generic")
+    }
+
+    def wrap(original):
+        def mutant(trace, config, *rest):
+            result = original(trace, _deepened_loads(config), *rest)
+            result.config = config  # report under the requested config
+            return result
+
+        return mutant
+
+    for name, original in originals.items():
+        setattr(kernels, name, wrap(original))
+    try:
+        yield
+    finally:
+        for name, original in originals.items():
+            setattr(kernels, name, original)
+
+
+@contextmanager
+def mutate_legacy_war_loss():
+    """The streaming analyzer drops all write-after-read constraints."""
+    from repro.core import analyzer
+
+    original = analyzer.analyze
+
+    def mutant(trace, config=None, segments=None):
+        requested = config if config is not None else AnalysisConfig()
+        bare = replace(
+            requested, rename_registers=True, rename_stack=True, rename_data=True
+        )
+        result = original(trace, bare, segments)
+        result.config = requested
+        return result
+
+    analyzer.analyze = mutant
+    try:
+        yield
+    finally:
+        analyzer.analyze = original
+
+
+MUTATIONS = {
+    "kernel-load-skew": mutate_kernel_load_skew,
+    "legacy-war-loss": mutate_legacy_war_loss,
+}
+
+
+@contextmanager
+def apply_mutation(name: str):
+    """Apply a named mutation for the duration of a ``with`` block."""
+    try:
+        factory = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; choose from {sorted(MUTATIONS)}"
+        ) from None
+    with factory():
+        yield

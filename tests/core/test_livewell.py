@@ -68,6 +68,82 @@ class TestLiveWell:
         assert well.peak_size == 10
 
 
+class TestEdgeCases:
+    """Corner cases the verification fuzzer leans on (see repro.verify)."""
+
+    def build(self, trace, **config_kwargs):
+        kwargs = {"latency": LatencyTable.unit(), **config_kwargs}
+        analyzer = ReferenceAnalyzer(AnalysisConfig(**kwargs), DEFAULT_SEGMENTS)
+        for record in trace:
+            analyzer.step(record)
+        return analyzer
+
+    def test_same_register_read_then_write(self):
+        """``r1 <- f(r1)``: the read sees the OLD value; the write creates a
+        new one strictly below it. One instruction, both roles."""
+        from repro.trace.synthetic import TraceBuilder
+
+        builder = TraceBuilder()
+        builder.ialu(1)      # v_old at level 0
+        builder.ialu(1, 1)   # r1 <- r1: reads v_old, rebinds r1
+        analyzer = self.build(builder.build())
+        value = analyzer.well.peek(1)
+        assert value.level == 1          # the new value, one below its source
+        assert not value.preexisting
+        assert value.uses == 0           # nothing has read the new value yet
+        result = analyzer.finish()
+        assert result.critical_path_length == 2
+        assert result.profile.counts == {0: 1, 1: 1}
+
+    def test_store_to_address_just_freed(self):
+        """Overwrite of a dead memory value: the new store's WAR constraint
+        still sees the dead value's deepest use when data is not renamed."""
+        from repro.trace.synthetic import TraceBuilder
+
+        builder = TraceBuilder()
+        builder.ialu(1)            # level 0
+        builder.store(1, DATA)     # level 1, value S1
+        builder.load(2, DATA)      # level 2 reads S1 — its last use
+        builder.ialu(3)            # level 0, independent
+        builder.store(3, DATA)     # rebinds DATA; WAR: must be > S1's last use
+        trace = builder.build()
+
+        renamed = self.build(trace, rename_data=True).finish()
+        in_place = self.build(trace, rename_data=False).finish()
+        loc = memory_location(DATA)
+        # renamed: the second store only waits for its source (level 1);
+        # in place: it must also clear the load of the dead value (level 3)
+        assert self.build(trace, rename_data=True).well.peek(loc).level == 1
+        assert self.build(trace, rename_data=False).well.peek(loc).level == 3
+        assert renamed.critical_path_length == 3
+        assert in_place.critical_path_length == 4
+
+    def test_unit_latency_op_at_firewall_boundary(self):
+        """An op placed immediately after a conservative syscall lands
+        exactly one level below the firewall, never on or above it."""
+        from repro.trace.synthetic import TraceBuilder
+
+        builder = TraceBuilder()
+        builder.ialu(1)       # level 0
+        builder.syscall()     # firewall: level 1, floor 2
+        builder.ialu(2)       # no deps: placed at the floor exactly
+        builder.ialu(3, 1)    # old value: also dragged to the floor
+        analyzer = self.build(builder.build())
+        assert analyzer.well.peek(2).level == 2
+        assert analyzer.well.peek(3).level == 2
+        result = analyzer.finish()
+        assert result.firewalls == 1
+        assert result.profile.counts == {0: 1, 1: 1, 2: 2}
+
+    def test_latency_table_rejects_zero_latency(self):
+        """There is no such thing as a zero-latency placed op: levels are
+        strictly increasing through a dependence chain."""
+        import pytest
+
+        with pytest.raises(ValueError):
+            LatencyTable.unit().with_overrides(IALU=0)
+
+
 class TestFigure5:
     """After processing the Figure 1 trace, the live well holds the paper's
     Figure 5 state: A-D pre-existing at level -1, r0-r3 at 0, r4/r5 at 1,

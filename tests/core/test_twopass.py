@@ -55,6 +55,24 @@ class TestKillLists:
         kills = compute_kill_lists(builder.build().records)
         assert kills[1] == (1,)
 
+    def test_optimistic_syscall_dest_is_not_a_rebind(self):
+        """Regression: under the optimistic policy the forward pass skips
+        syscall records entirely, so a syscall destination must not make
+        an earlier read look like the last use (found by ``verify``)."""
+        from repro.isa.opclasses import OpClass
+
+        builder = TraceBuilder()
+        builder.ialu(5)                       # 0: create v5
+        builder.ialu(3, 5)                    # 1: read v5
+        builder.op(OpClass.SYSCALL, (5,))     # 2: syscall "writing" r5
+        builder.ialu(1, 5)                    # 3: still reads the value from 0
+        records = builder.build().records
+        conservative = compute_kill_lists(records)
+        optimistic = compute_kill_lists(records, optimistic_syscalls=True)
+        assert conservative[1] == (5,)  # the syscall really rebinds r5
+        assert optimistic[1] == ()      # the record is ignored wholesale
+        assert optimistic[3] == (5,)
+
 
 class TestEquivalence:
     CONFIGS = [
@@ -95,6 +113,31 @@ class TestEquivalence:
         forward = analyze(trace, unit())
         twopass = twopass_analyze(trace, unit())
         assert twopass.peak_live_well <= forward.peak_live_well
+
+    def test_optimistic_syscall_with_dests_matches_forward(self):
+        """End-to-end shape of the same regression: legacy and twopass
+        agree on a trace whose syscall carries destination registers."""
+        from repro.isa.opclasses import OpClass
+
+        builder = TraceBuilder()
+        builder.op(OpClass.IALU, (5, 2))
+        builder.ialu(3, 5, 4)
+        builder.op(OpClass.SYSCALL, (5,), (1,))
+        builder.ialu(1, 5, 1)
+        trace = builder.build()
+        for config in (
+            unit(syscall_policy="optimistic"),
+            unit(
+                syscall_policy="optimistic",
+                rename_registers=True,
+                rename_stack=True,
+                rename_data=True,
+            ),
+        ):
+            forward = analyze(trace, config)
+            twopass = twopass_analyze(trace, config)
+            assert forward.critical_path_length == twopass.critical_path_length
+            assert forward.profile.counts == twopass.profile.counts
 
     def test_reclamation_actually_shrinks_working_set(self):
         # A long loop over many distinct memory words: method 2 keeps every

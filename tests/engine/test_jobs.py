@@ -112,3 +112,62 @@ class TestAnalysisJob:
     def test_describe_mentions_extras(self):
         text = AnalysisJob("cc1x", 100, method="twopass", optimize=True).describe()
         assert "twopass" in text and "optimized" in text
+
+
+class TestMethods:
+    """The pinned verification methods ride the same job machinery."""
+
+    def test_registry_complete(self):
+        from repro.engine.jobs import METHODS
+
+        assert set(METHODS) == {
+            "forward",
+            "twopass",
+            "legacy",
+            "columnar",
+            "reference",
+            "oracle",
+        }
+
+    @pytest.mark.parametrize(
+        "method,columnar",
+        [
+            ("forward", True),
+            ("columnar", True),
+            ("twopass", False),
+            ("legacy", False),
+            ("reference", False),
+            ("oracle", False),
+        ],
+    )
+    def test_prefers_columnar(self, method, columnar):
+        assert AnalysisJob("cc1x", 100, method=method).prefers_columnar is columnar
+
+    @pytest.mark.parametrize(
+        "method", ["forward", "twopass", "legacy", "columnar", "reference"]
+    )
+    def test_all_methods_agree_on_either_representation(self, method):
+        """Every method accepts both trace representations via job.run and
+        lands on the forward analyzer's result (modulo documented masks)."""
+        from repro.core.analyzer import analyze
+        from repro.trace.columnar import ColumnarTrace
+        from repro.trace.synthetic import random_trace
+
+        trace = random_trace(seed=3, length=400)
+        expected = analyze(trace, AnalysisConfig())
+        job = AnalysisJob("w", len(trace), method=method)
+        for representation in (trace, ColumnarTrace.from_buffer(trace)):
+            result = job.run(representation)
+            assert result.critical_path_length == expected.critical_path_length
+            assert result.placed_operations == expected.placed_operations
+            assert result.profile.counts == expected.profile.counts
+
+    def test_oracle_method_runs_via_job(self):
+        from repro.core.analyzer import analyze
+        from repro.trace.synthetic import random_trace
+
+        trace = random_trace(seed=3, length=200)
+        expected = analyze(trace, AnalysisConfig())
+        result = AnalysisJob("w", len(trace), method="oracle").run(trace)
+        assert result.critical_path_length == expected.critical_path_length
+        assert result.peak_live_well == -1  # oracle sentinel

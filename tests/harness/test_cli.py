@@ -80,3 +80,50 @@ class TestAnalyze:
         assert main(["analyze", path, "--cap", "300"]) == 0
         out = capsys.readouterr().out
         assert "records=300" in out
+
+
+class TestVerify:
+    def test_small_sweep_passes(self, capsys):
+        assert main(["verify", "--cases", "15", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_progress_lines(self, capsys):
+        assert main(["verify", "--cases", "5", "--seed", "0", "--progress"]) == 0
+        assert "5/5 cases" in capsys.readouterr().err
+
+    def test_mutation_caught(self, tmp_path, capsys):
+        code = main(
+            [
+                "verify", "--cases", "40", "--seed", "0",
+                "--mutate", "kernel-load-skew",
+                "--artifact-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0  # caught, as expected
+        out = capsys.readouterr().out
+        assert "caught" in out
+        assert any(name.endswith(".pgt2") for name in os.listdir(str(tmp_path)))
+
+    def test_unknown_mutation_rejected(self, capsys):
+        code = main(["verify", "--cases", "1", "--mutate", "nope"])
+        assert code == 2
+        assert "unknown mutation" in capsys.readouterr().err
+
+    def test_replay_artifact(self, tmp_path, capsys):
+        from repro.verify.artifacts import persist_failure
+        from repro.verify.generate import generate_case
+
+        case = generate_case(0, 3)
+        _, meta_path = persist_failure(str(tmp_path), case, case.trace, ["x"])
+        assert main(["verify", "--replay", meta_path]) == 0
+        assert "no longer fails" in capsys.readouterr().out
+
+    def test_analyze_reads_pgt2_artifacts(self, tmp_path, capsys):
+        from repro.trace.io import write_trace_file
+        from repro.trace.synthetic import random_trace
+
+        path = str(tmp_path / "case.pgt2")
+        write_trace_file(path, random_trace(5, 400))
+        assert main(["analyze", path, "--cap", "400"]) == 0
+        assert "records=400" in capsys.readouterr().out

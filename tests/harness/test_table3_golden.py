@@ -1,0 +1,69 @@
+"""Golden regression pin for the Table 3 dataflow limit.
+
+Unlike the shape checks in test_experiments.py, this compares the full
+Table 3 output at a fixed cap against committed values with **zero
+tolerance**: the dataflow limit is a pure function of the trace and the
+placement rule, so any drift here means the analyzer semantics changed —
+exactly the regression the differential ``verify`` subsystem exists to
+catch, pinned once more against real workload traces.
+
+If a deliberate semantic change lands, regenerate the goldens with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.harness.experiments import run_experiment
+    from repro.harness.runner import TraceStore
+    for row in run_experiment("table3", TraceStore(), 4000).tables[0].rows:
+        print(repr(row))
+    EOF
+"""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+from repro.harness.runner import TraceStore
+
+CAP = 4000
+
+#: (workload, syscalls, conservative CP, conservative AP, optimistic CP,
+#: optimistic AP) at cap 4000. The paper-reference columns (7, 8) are
+#: static data checked elsewhere; floats here are exact — the AP division
+#: is deterministic across platforms.
+GOLDEN = {
+    "cc1x": (0, 727, 4.502063273727648, 727, 4.502063273727648),
+    "doducx": (0, 90, 40.43333333333333, 90, 40.43333333333333),
+    "eqntottx": (0, 48, 75.39583333333333, 48, 75.39583333333333),
+    "espressox": (0, 58, 61.08620689655172, 58, 61.08620689655172),
+    "fppppx": (0, 187, 19.41711229946524, 187, 19.41711229946524),
+    "matrix300x": (0, 93, 41.0, 93, 41.0),
+    "naskerx": (0, 171, 21.023391812865498, 171, 21.023391812865498),
+    "spice2g6x": (0, 252, 14.583333333333334, 252, 14.583333333333334),
+    "tomcatvx": (0, 84, 44.86904761904762, 84, 44.86904761904762),
+    "xlispx": (0, 251, 13.418326693227092, 251, 13.418326693227092),
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    output = run_experiment("table3", TraceStore(), CAP)
+    return {row[0]: row for row in output.tables[0].rows}
+
+
+class TestTable3Golden:
+    def test_workload_set_unchanged(self, rows):
+        assert set(rows) == set(GOLDEN)
+
+    @pytest.mark.parametrize("workload", sorted(GOLDEN))
+    def test_row_exact(self, rows, workload):
+        syscalls, cons_cp, cons_ap, opt_cp, opt_ap = GOLDEN[workload]
+        row = rows[workload]
+        assert row[1] == syscalls, "syscall count drifted"
+        assert row[2] == cons_cp, "conservative critical path drifted"
+        assert row[3] == cons_ap, "conservative available parallelism drifted"
+        assert row[4] == opt_cp, "optimistic critical path drifted"
+        assert row[5] == opt_ap, "optimistic available parallelism drifted"
+
+    def test_error_column_consistent(self, rows):
+        # with zero syscalls in the first 4000 records the two policies
+        # coincide, so the bounded measurement error must be exactly zero
+        for row in rows.values():
+            assert row[6] == 0.0
