@@ -1,0 +1,69 @@
+"""Service overhead: jobs/s through the HTTP server vs the direct engine.
+
+Both benchmarks push the same batch shape through the same engine
+configuration; the delta is the cost of the service surface (HTTP parsing,
+queueing, dispatch, polling). Every round uses previously-unseen caps so
+content-addressed dedupe and the result cache cannot short-circuit the
+work — each round measures real executions plus dispatch overhead.
+
+Baselines live in ``benchmarks/BENCH_throughput.json``; refresh with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_throughput.py \\
+        benchmarks/bench_serve.py \\
+        --benchmark-json=benchmarks/BENCH_throughput.json -q
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.engine.api import ExperimentEngine
+from repro.engine.jobs import AnalysisJob
+from repro.serve import ServeClient, ServeConfig, ServerThread
+
+JOBS_PER_ROUND = 4
+BASE_CAP = 2000
+
+#: Shared across both benchmarks so no cap is ever analyzed twice.
+_fresh_round = itertools.count()
+
+
+def _round_caps():
+    start = BASE_CAP + next(_fresh_round) * JOBS_PER_ROUND
+    return list(range(start, start + JOBS_PER_ROUND))
+
+
+@pytest.fixture(scope="module")
+def serve_thread():
+    with ServerThread(ServeConfig(port=0, jobs=1, metrics=False)) as server:
+        yield server
+
+
+def test_serve_http_batch(benchmark, serve_thread):
+    with ServeClient("127.0.0.1", serve_thread.port, client_id="bench") as client:
+
+        def submit_batch():
+            caps = _round_caps()
+            rows = client.submit(
+                {"jobs": [{"workload": "xlispx", "cap": cap} for cap in caps]}
+            )
+            return [client.wait(row["id"], timeout=300, poll=0.005) for row in rows]
+
+        records = benchmark(submit_batch)
+    assert len(records) == JOBS_PER_ROUND
+    assert all(record["state"] == "done" for record in records)
+
+
+def test_engine_direct_batch(benchmark):
+    engine = ExperimentEngine(jobs=1)
+
+    def run_batch():
+        grid = [
+            AnalysisJob("xlispx", cap, AnalysisConfig()) for cap in _round_caps()
+        ]
+        return engine.run_grid(grid)
+
+    outcomes = benchmark(run_batch)
+    assert len(outcomes) == JOBS_PER_ROUND
+    assert all(outcome.ok for outcome in outcomes)

@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Scripted load/smoke test for ``repro serve`` (the CI serve-smoke job).
+
+Runs the real CLI server as a subprocess and drives it with concurrent
+clients through the full acceptance story:
+
+1. two clients submit identical grids concurrently → the engine executes
+   each distinct job exactly once (content-addressed dedupe);
+2. resubmitting the finished grid is a pool no-op (deduped counter moves,
+   executed counter does not);
+3. a restarted server with the same result cache answers the same grid
+   from cache without executing;
+4. under ``REPRO_FAULTS=crash@0`` an injected worker crash surfaces as a
+   retry, never an HTTP error — every client still gets its result;
+5. SIGTERM drains cleanly (exit 0, journal on disk) and ``--resume``
+   replays the drained run's completed jobs from the journal.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py [--cap N] [--keep]
+
+Exits non-zero on the first violated expectation.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+sys.path.insert(0, SRC)
+
+from repro.serve import ServeClient  # noqa: E402
+
+
+def say(message):
+    print(f"serve-smoke: {message}", flush=True)
+
+
+def fail(message):
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr, flush=True)
+    sys.exit(1)
+
+
+class Server:
+    """One CLI server subprocess with port-file discovery."""
+
+    def __init__(self, workdir, extra=(), env_extra=None):
+        self.port_file = os.path.join(workdir, "port.json")
+        if os.path.exists(self.port_file):
+            os.remove(self.port_file)
+        env = dict(os.environ, PYTHONPATH=SRC)
+        env.update(env_extra or {})
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--port-file", self.port_file,
+                "--journal-dir", os.path.join(workdir, "journal"),
+                "--result-cache", os.path.join(workdir, "cache"),
+                "--result-cache-max-bytes", "64M",
+                "--jobs", "2",
+                *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        deadline = time.monotonic() + 90
+        while not os.path.exists(self.port_file):
+            if self.proc.poll() is not None or time.monotonic() > deadline:
+                output = self.proc.stdout.read().decode()
+                self.proc.kill()
+                fail(f"server failed to start:\n{output}")
+            time.sleep(0.05)
+        with open(self.port_file) as handle:
+            self.info = json.load(handle)
+        self.port = self.info["port"]
+        self.run_id = self.info["run_id"]
+
+    def client(self, client_id):
+        return ServeClient("127.0.0.1", self.port, client_id=client_id, timeout=120)
+
+    def sigterm(self):
+        self.proc.send_signal(signal.SIGTERM)
+        code = self.proc.wait(timeout=90)
+        output = self.proc.stdout.read().decode()
+        if code != 0:
+            fail(f"server exited {code} after SIGTERM:\n{output}")
+        return output
+
+
+def grid_body(cap):
+    return {
+        "workload": "xlispx",
+        "cap": cap,
+        "configs": [
+            {"syscall_policy": "conservative"},
+            {"syscall_policy": "optimistic"},
+            {"window_size": 64},
+        ],
+    }
+
+
+def submit_and_wait(server, client_id, cap, results, index):
+    with server.client(client_id) as client:
+        rows = client.submit(grid_body(cap))
+        records = [client.wait(row["id"], timeout=180) for row in rows]
+        results[index] = (rows, records)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cap", type=int, default=2000, help="instruction cap per job")
+    parser.add_argument("--keep", action="store_true", help="keep the scratch directory")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="serve-smoke-")
+    say(f"scratch dir {workdir}")
+    try:
+        run(args.cap, workdir)
+    finally:
+        if args.keep:
+            say(f"kept {workdir}")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+    say("all scenarios passed")
+
+
+def run(cap, workdir):
+    # -- 1+2: concurrent identical grids dedupe to one execution ----------
+    server = Server(workdir)
+    say(f"server up on port {server.port} (run {server.run_id})")
+    results = [None, None]
+    threads = [
+        threading.Thread(target=submit_and_wait, args=(server, name, cap, results, i))
+        for i, name in enumerate(("alpha", "beta"))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=240)
+    if any(result is None for result in results):
+        fail("a concurrent client never finished")
+    ids = [sorted(row["id"] for row in rows) for rows, _ in results]
+    if ids[0] != ids[1]:
+        fail("identical grids produced different job ids")
+    for _, records in results:
+        bad = [r for r in records if r["state"] != "done"]
+        if bad:
+            fail(f"jobs did not complete: {bad}")
+    with server.client("checker") as client:
+        stats = client.healthz()["stats"]
+    if stats["executed"] != 3:
+        fail(f"expected 3 executions for 3 distinct jobs, saw {stats['executed']}")
+    if stats["deduped"] < 3:
+        fail(f"expected >=3 deduped submissions, saw {stats['deduped']}")
+    say(f"concurrent dedupe ok (executed={stats['executed']}, deduped={stats['deduped']})")
+
+    with server.client("gamma") as client:
+        rows = client.submit(grid_body(cap))
+        if not all(row["deduped"] for row in rows):
+            fail("resubmission of a finished grid was not deduped")
+        after = client.healthz()["stats"]
+    if after["executed"] != stats["executed"]:
+        fail("resubmission reached the pool (executed moved)")
+    say("cached resubmission is a pool no-op")
+
+    # -- 5a: SIGTERM drains cleanly ---------------------------------------
+    first_run = server.run_id
+    server.sigterm()
+    journal = os.path.join(workdir, "journal", f"{first_run}.jsonl")
+    if not os.path.exists(journal):
+        fail(f"no journal at {journal} after drain")
+    say("SIGTERM drained cleanly, journal on disk")
+
+    # -- 3: a fresh server answers the grid from the shared result cache --
+    server = Server(workdir)
+    with server.client("delta") as client:
+        rows = client.submit(grid_body(cap))
+        records = [client.wait(row["id"], timeout=180) for row in rows]
+        stats = client.healthz()["stats"]
+    if not all(record["status"] == "cached" for record in records):
+        fail(f"expected cached answers after restart, saw "
+             f"{[r['status'] for r in records]}")
+    if stats["executed"] != 0:
+        fail("restarted server re-executed cached work")
+    say("cross-restart result cache hit (0 executions)")
+    server.sigterm()
+
+    # -- 4: injected worker crash surfaces as a retry, not an error -------
+    faults_dir = os.path.join(workdir, "faults")
+    os.makedirs(faults_dir, exist_ok=True)
+    fault_cap = cap + 17  # distinct digests: miss the cache, reach the pool
+    server = Server(
+        workdir,
+        env_extra={"REPRO_FAULTS": "crash@0", "REPRO_FAULTS_DIR": faults_dir},
+    )
+    fault_run = server.run_id
+    with server.client("epsilon") as client:
+        rows = client.submit(grid_body(fault_cap))
+        records = [client.wait(row["id"], timeout=180) for row in rows]
+        events = list(client.events(rows[0]["id"]))
+    if not all(record["state"] == "done" for record in records):
+        fail(f"jobs failed under fault injection: "
+             f"{[(r['state'], r['error']) for r in records]}")
+    kinds = [event["event"] for event in events]
+    if "retry" not in kinds:
+        fail(f"expected a retry event for the crashed job, saw {kinds}")
+    say(f"worker crash retried transparently (job 0 events: {kinds})")
+    server.sigterm()
+
+    # -- 5b: --resume replays the drained run's jobs from its journal -----
+    server = Server(workdir, extra=("--resume", fault_run))
+    if server.run_id != fault_run:
+        fail(f"resumed run id {server.run_id} != {fault_run}")
+    with server.client("zeta") as client:
+        rows = client.submit(grid_body(fault_cap))
+        records = [client.wait(row["id"], timeout=180) for row in rows]
+    statuses = [record["status"] for record in records]
+    if statuses != ["replayed"] * len(records):
+        fail(f"expected journal replays on --resume, saw {statuses}")
+    say("journal resume replays completed jobs")
+    server.sigterm()
+
+
+if __name__ == "__main__":
+    main()

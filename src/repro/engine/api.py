@@ -115,6 +115,7 @@ class ExperimentEngine:
         fail_fast: bool = False,
         metrics: Optional[bool] = None,
         metrics_path: Optional[str] = None,
+        result_cache_max_bytes: Optional[int] = None,
     ):
         if store is None:
             from repro.harness.runner import TraceStore
@@ -127,7 +128,9 @@ class ExperimentEngine:
         if resume and not journal_dir:
             raise ValueError("resume requires a journal_dir to read the journal from")
         if isinstance(result_cache, str):
-            result_cache = ResultCache(result_cache)
+            result_cache = ResultCache(result_cache, max_bytes=result_cache_max_bytes)
+        elif result_cache is not None and result_cache_max_bytes is not None:
+            result_cache.max_bytes = result_cache_max_bytes
         self.store = store
         self.jobs = jobs
         self.result_cache = result_cache
@@ -205,6 +208,19 @@ class ExperimentEngine:
         for outcome in outcomes:
             writer.write_job(outcome_row(outcome))
         writer.write_grid(obs.registry().drain(), jobs=len(outcomes))
+
+    def close(self) -> None:
+        """Flush and close this run's artifacts: the run journal and the
+        metrics export stream. Journal records are already fsync'd as they
+        land, so this is about releasing handles and flushing buffered
+        metrics deterministically — the graceful-shutdown paths (batch CLI
+        signal handling, server drain) call it instead of trusting
+        ``atexit``. Idempotent; the engine stays usable for trace reads
+        but must not run further grids afterwards."""
+        if self.journal is not None:
+            self.journal.close()
+        if self._metrics_writer is not None:
+            self._metrics_writer.close()
 
     # -- trace passthrough -------------------------------------------------
 

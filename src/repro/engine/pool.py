@@ -237,6 +237,16 @@ def _worker_main(worker_id: int, task_queue, result_queue, metrics: bool = False
     ``BufferError``/resource-tracker warnings at exit) and the queues are
     released without blocking on unflushed buffers.
     """
+    # A forked worker inherits the parent's signal wakeup fd. If the parent
+    # runs an asyncio loop (repro.serve), that fd is the loop's self-pipe:
+    # any signal delivered to the worker (e.g. the pool's own terminate()
+    # backstop) would write its signal byte into the PARENT's loop, which
+    # then acts as if the parent itself was signalled. Detach before
+    # installing handlers so worker signals stay in the worker.
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # non-main thread / closed fd: nothing to shed
+        pass
     signal.signal(signal.SIGTERM, _sigterm_to_exit)
     if metrics:
         obs.enable()

@@ -1,0 +1,84 @@
+"""Graceful shutdown: flush run artifacts before the process dies.
+
+Both halves of the system end runs the same way — by flushing the run
+journal and the metrics export *deterministically*, not by hoping
+``atexit`` fires:
+
+- the batch CLI wraps its engine in :func:`graceful_flush`, so a SIGTERM
+  or Ctrl-C mid-grid flushes everything already journaled and then exits
+  with the conventional ``128 + signum`` code;
+- the server's drain path (:meth:`repro.serve.service.AnalysisService.
+  drain`) calls :func:`flush_engine` after the in-flight grid lands.
+
+Journal records are fsync'd as they land, so what these helpers add is
+closing the file handles and flushing the buffered metrics stream —
+cheap, idempotent, and safe to call from any shutdown path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import os
+import signal
+import threading
+from typing import Iterator
+
+logger = logging.getLogger(__name__)
+
+#: Signals the batch CLI treats as "finish the bookkeeping, then die".
+FLUSH_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+def flush_engine(engine) -> None:
+    """Flush and close one engine's run artifacts; never raises (shutdown
+    paths must not die in their own cleanup)."""
+    try:
+        engine.close()
+    except Exception:  # noqa: BLE001 - best-effort by contract
+        logger.warning("engine flush failed during shutdown", exc_info=True)
+
+
+@contextlib.contextmanager
+def graceful_flush(*engines, signals=FLUSH_SIGNALS) -> Iterator[None]:
+    """Flush ``engines`` on SIGTERM/SIGINT and on normal exit.
+
+    On a covered signal the handler flushes every engine, restores the
+    previous handler for that signal, and re-raises it against the
+    process — so the exit status (``128 + signum``, or a
+    ``KeyboardInterrupt`` for SIGINT) is exactly what the caller's parent
+    expects from an unhandled signal. Outside the main thread (where
+    ``signal.signal`` is unavailable) the context still flushes on exit.
+    """
+    previous = {}
+    installed = threading.current_thread() is threading.main_thread()
+
+    def _flush_all() -> None:
+        for engine in engines:
+            flush_engine(engine)
+
+    def _handler(signum, frame):
+        _flush_all()
+        try:
+            signal.signal(signum, previous.get(signum, signal.SIG_DFL))
+        except (ValueError, OSError):
+            pass
+        os.kill(os.getpid(), signum)
+
+    if installed:
+        for signum in signals:
+            try:
+                previous[signum] = signal.getsignal(signum)
+                signal.signal(signum, _handler)
+            except (ValueError, OSError):
+                previous.pop(signum, None)
+    try:
+        yield
+    finally:
+        if installed:
+            for signum, old in previous.items():
+                try:
+                    signal.signal(signum, old)
+                except (ValueError, OSError):
+                    pass
+        _flush_all()

@@ -39,6 +39,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "runs with the same traces and configs skip recompute entirely",
     )
     parser.add_argument(
+        "--result-cache-max-bytes",
+        metavar="SIZE",
+        default=None,
+        help="size budget for --result-cache (bytes, or with a K/M/G "
+        "suffix); stores past the budget evict least-recently-used "
+        "entries (default: unbounded)",
+    )
+    parser.add_argument(
         "--job-timeout",
         type=float,
         default=None,
@@ -94,6 +102,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_cache_budget(args) -> Optional[int]:
+    if args.result_cache_max_bytes is None:
+        return None
+    if not args.result_cache:
+        raise SystemExit("--result-cache-max-bytes requires --result-cache")
+    from repro.engine.cache import parse_size
+
+    try:
+        return parse_size(args.result_cache_max_bytes)
+    except ValueError as error:
+        raise SystemExit(f"--result-cache-max-bytes: {error}") from None
+
+
 def _build_engine(args) -> ExperimentEngine:
     if args.resume and not args.journal_dir:
         raise SystemExit("--resume requires --journal-dir")
@@ -101,6 +122,7 @@ def _build_engine(args) -> ExperimentEngine:
         store=TraceStore(args.trace_dir),
         jobs=args.jobs,
         result_cache=args.result_cache,
+        result_cache_max_bytes=_parse_cache_budget(args),
         timeout=args.job_timeout,
         progress=console_listener() if args.progress else None,
         retries=args.retries,
@@ -150,6 +172,71 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default="EXPERIMENTS.md")
     report.add_argument("--trace-dir", help="directory for cached binary traces")
     _add_engine_arguments(report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the analysis job server (async HTTP/JSON over one "
+        "engine pool; see repro.serve)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8037,
+        help="bind port; 0 picks an ephemeral port (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="engine worker processes (default: 1)"
+    )
+    serve.add_argument("--trace-dir", help="directory for cached binary traces")
+    serve.add_argument(
+        "--result-cache",
+        help="shared result-cache directory (dedupes identical work across "
+        "server restarts and sibling processes)",
+    )
+    serve.add_argument(
+        "--result-cache-max-bytes",
+        metavar="SIZE",
+        default=None,
+        help="size budget for --result-cache (bytes or K/M/G suffix)",
+    )
+    serve.add_argument(
+        "--journal-dir",
+        help="run-journal directory; a drained server's run resumes with --resume",
+    )
+    serve.add_argument(
+        "--resume", metavar="RUN_ID", help="resume a journaled run's completed jobs"
+    )
+    serve.add_argument(
+        "--retries", type=int, default=2, help="transient-failure retries per job"
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, help="per-job wall-clock limit (s)"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="bounded submission queue size; a full queue answers 429 "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="jobs dispatched per engine grid (default: --jobs)",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        dest="metrics",
+        action="store_false",
+        help="disable the repro.obs metrics registry and per-run export",
+    )
+    serve.add_argument(
+        "--port-file",
+        help="write a JSON {host, port, pid, run_id} document here once "
+        "listening (subprocess port discovery)",
+    )
 
     report_run = sub.add_parser(
         "report-run",
@@ -254,26 +341,53 @@ def _command_list() -> int:
 
 
 def _command_run(args) -> int:
+    from repro.engine.shutdown import graceful_flush
+
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     engine = _build_engine(args)
     if args.out:
         os.makedirs(args.out, exist_ok=True)
-    for name in names:
-        output = run_experiment(name, engine, args.cap)
-        text = output.render()
-        print(text)
-        print()
-        if args.out:
-            with open(os.path.join(args.out, f"{name}.txt"), "w") as handle:
-                handle.write(text + "\n")
-            for index, table in enumerate(output.tables):
-                suffix = "" if len(output.tables) == 1 else f".{index}"
-                path = os.path.join(args.out, f"{name}{suffix}.csv")
-                with open(path, "w") as handle:
-                    handle.write(table.to_csv() + "\n")
+    with graceful_flush(engine):
+        for name in names:
+            output = run_experiment(name, engine, args.cap)
+            text = output.render()
+            print(text)
+            print()
+            if args.out:
+                with open(os.path.join(args.out, f"{name}.txt"), "w") as handle:
+                    handle.write(text + "\n")
+                for index, table in enumerate(output.tables):
+                    suffix = "" if len(output.tables) == 1 else f".{index}"
+                    path = os.path.join(args.out, f"{name}{suffix}.csv")
+                    with open(path, "w") as handle:
+                        handle.write(table.to_csv() + "\n")
     if args.progress:
         print(engine.telemetry.summary(), file=sys.stderr)
     return 0
+
+
+def _command_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        trace_dir=args.trace_dir,
+        result_cache=args.result_cache,
+        result_cache_max_bytes=_parse_cache_budget(args),
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        retries=args.retries,
+        job_timeout=args.job_timeout,
+        queue_limit=args.queue_limit,
+        batch=args.batch,
+        metrics=args.metrics,
+        port_file=args.port_file,
+    )
+    if config.resume and not config.journal_dir:
+        raise SystemExit("--resume requires --journal-dir")
+    return run_server(config)
 
 
 def _command_verify(args) -> int:
@@ -385,11 +499,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _command_run(args)
     if args.command == "report":
+        from repro.engine.shutdown import graceful_flush
         from repro.harness.report import write_report
 
-        write_report(args.out, args.cap, _build_engine(args))
+        engine = _build_engine(args)
+        with graceful_flush(engine):
+            write_report(args.out, args.cap, engine)
         print(f"wrote {args.out}")
         return 0
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "verify":
         return _command_verify(args)
     if args.command == "report-run":

@@ -1,0 +1,23 @@
+"""repro.serve — analysis-as-a-service over the experiment engine.
+
+A small asyncio HTTP/JSON server that owns one
+:class:`~repro.engine.api.ExperimentEngine` pool and exposes job
+submission, content-addressed dedupe, SSE progress streams, run reports,
+and health/metrics endpoints. See :mod:`repro.serve.app` for the API
+surface and :mod:`repro.serve.server` for lifecycle/embedding.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.server import JobServer, ServerThread, run_server
+from repro.serve.service import AnalysisService, ServeConfig, SpecError
+
+__all__ = [
+    "AnalysisService",
+    "JobServer",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServerThread",
+    "SpecError",
+    "run_server",
+]

@@ -1,0 +1,237 @@
+"""HTTP API over an :class:`~repro.serve.service.AnalysisService`.
+
+Endpoints (all JSON unless noted):
+
+- ``POST /v1/jobs`` — submit one spec, a config grid, or ``{"jobs": [...]}``;
+  202 with one entry per job (content-addressed id + ``deduped`` flag).
+- ``POST /v1/traces`` — upload a PGT2 trace body; 201 with the trace id
+  jobs can reference as their ``workload``.
+- ``GET /v1/jobs`` — registry summary.
+- ``GET /v1/jobs/{id}`` — status; includes the serialized result once done.
+- ``GET /v1/jobs/{id}/events`` — SSE stream of the job's event log
+  (``?after=<seq>`` or ``Last-Event-ID`` resumes; stream ends after the
+  terminal event).
+- ``GET /v1/runs/{run_id}`` — journal-backed run report (the data behind
+  ``repro report-run``).
+- ``GET /healthz`` — liveness + queue/drain state.
+- ``GET /metrics`` — service stats + the ``repro.obs`` registry snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Optional
+
+from repro.obs import metrics as obs
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    read_request,
+    send_json,
+    send_sse,
+    start_sse,
+)
+from repro.serve.service import AnalysisService, SpecError, expand_specs
+from repro.serve.state import DONE, QueueFullError
+
+logger = logging.getLogger(__name__)
+
+
+def _client_id(request: HttpRequest, writer: asyncio.StreamWriter) -> str:
+    """The fairness-lane identity of a request: an explicit header wins,
+    else the peer address (port excluded, so one host is one tenant)."""
+    explicit = request.headers.get("x-client-id")
+    if explicit:
+        return explicit
+    peer = writer.get_extra_info("peername")
+    return str(peer[0]) if isinstance(peer, tuple) else "unknown"
+
+
+def _submission_row(record, deduped: bool) -> dict:
+    return {
+        "id": record.id,
+        "state": record.state,
+        "status": record.status,
+        "deduped": deduped,
+        "describe": record.job.describe(),
+    }
+
+
+async def _handle_submit(service: AnalysisService, request: HttpRequest, client: str) -> tuple:
+    try:
+        specs = expand_specs(request.json())
+        results = service.submit_many(specs, client)
+    except SpecError as error:
+        raise HttpError(400, str(error)) from None
+    except QueueFullError as error:
+        status = 503 if service.draining else 429
+        raise HttpError(status, str(error)) from None
+    return 202, {"jobs": [_submission_row(record, deduped) for record, deduped in results]}
+
+
+async def _handle_upload(service: AnalysisService, request: HttpRequest) -> tuple:
+    if not request.body:
+        raise HttpError(400, "upload body must be a PGT2 trace")
+    if service.draining:
+        raise HttpError(503, "server is draining; uploads refused")
+    try:
+        name, cap, digest = service.upload(request.body)
+    except SpecError as error:
+        raise HttpError(400, str(error)) from None
+    return 201, {"trace": name, "cap": cap, "digest": digest}
+
+
+def _require_record(service: AnalysisService, job_id: str):
+    record = service.registry.get(job_id)
+    if record is None:
+        raise HttpError(404, f"unknown job {job_id!r}")
+    return record
+
+
+async def _handle_job_status(service: AnalysisService, job_id: str) -> tuple:
+    record = _require_record(service, job_id)
+    payload = record.describe()
+    if record.state == DONE and record.result is not None:
+        payload["result"] = record.result
+    return 200, payload
+
+
+async def _handle_job_events(
+    service: AnalysisService, request: HttpRequest, writer: asyncio.StreamWriter, job_id: str
+) -> None:
+    record = _require_record(service, job_id)
+    after = request.query.get("after", request.headers.get("last-event-id"))
+    try:
+        cursor = int(after) + 1 if after is not None else 0
+    except ValueError:
+        raise HttpError(400, f"bad event cursor {after!r}") from None
+    await start_sse(writer)
+    while True:
+        events = await record.wait_events(cursor)
+        if not events:
+            return  # terminal event already delivered
+        for event in events:
+            await send_sse(writer, event)
+        cursor = events[-1]["seq"] + 1
+
+
+async def _handle_run_report(service: AnalysisService, run_id: str) -> tuple:
+    from repro.obs.export import MetricsExportError, load_run, metrics_path
+
+    journal_dir = service.config.journal_dir
+    if not journal_dir:
+        raise HttpError(404, "server runs without a journal directory; no run reports")
+    if "/" in run_id or run_id.startswith("."):
+        raise HttpError(400, f"bad run id {run_id!r}")
+    try:
+        run = load_run(metrics_path(journal_dir, run_id))
+    except MetricsExportError as error:
+        raise HttpError(404, str(error)) from None
+    from repro.obs.report import render_run_report
+
+    return 200, {
+        "run_id": run.get("run_id") or run_id,
+        "jobs": run["jobs"],
+        "grids": run["grids"],
+        "report": render_run_report(run),
+    }
+
+
+async def handle_request(
+    service: AnalysisService,
+    request: HttpRequest,
+    writer: asyncio.StreamWriter,
+) -> Optional[tuple]:
+    """Route one request; returns ``(status, payload)`` for JSON routes,
+    ``None`` when the handler wrote the response itself (SSE)."""
+    method, path = request.method, request.path.rstrip("/") or "/"
+    obs.inc("serve.http.requests")
+    service.stats["http_requests"] += 1
+
+    if path == "/healthz" and method == "GET":
+        return 200, service.health()
+    if path == "/metrics" and method == "GET":
+        return 200, service.metrics_snapshot()
+    if path == "/v1/jobs":
+        if method == "POST":
+            return await _handle_submit(service, request, _client_id(request, writer))
+        if method == "GET":
+            return 200, {"jobs": [record.describe() for record in service.registry.records()]}
+        raise HttpError(405, f"{method} not allowed on {path}")
+    if path == "/v1/traces" and method == "POST":
+        return await _handle_upload(service, request)
+    if path.startswith("/v1/jobs/"):
+        rest = path[len("/v1/jobs/"):]
+        if rest.endswith("/events"):
+            job_id = rest[: -len("/events")]
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            await _handle_job_events(service, request, writer, job_id)
+            return None
+        if "/" in rest:
+            raise HttpError(404, f"no route for {path}")
+        if method != "GET":
+            raise HttpError(405, f"{method} not allowed on {path}")
+        return await _handle_job_status(service, rest)
+    if path.startswith("/v1/runs/") and method == "GET":
+        return await _handle_run_report(service, path[len("/v1/runs/"):])
+    raise HttpError(404, f"no route for {method} {path}")
+
+
+async def handle_connection(
+    service: AnalysisService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client connection: serve keep-alive requests until close. SSE
+    responses end the connection (they have no framed length)."""
+    try:
+        while True:
+            try:
+                request = await read_request(reader)
+            except HttpError as error:
+                obs.inc("serve.http.errors")
+                await send_json(
+                    writer, error.status, {"error": error.message}, keep_alive=False
+                )
+                return
+            if request is None:
+                return
+            try:
+                routed = await handle_request(service, request, writer)
+            except HttpError as error:
+                obs.inc("serve.http.errors")
+                await send_json(
+                    writer,
+                    error.status,
+                    {"error": error.message},
+                    keep_alive=request.keep_alive,
+                )
+                if not request.keep_alive:
+                    return
+                continue
+            except Exception as error:  # noqa: BLE001 - a handler bug must not kill the server
+                logger.exception("unhandled error serving %s %s", request.method, request.path)
+                obs.inc("serve.http.errors")
+                await send_json(
+                    writer,
+                    500,
+                    {"error": f"{type(error).__name__}: {error}"},
+                    keep_alive=False,
+                )
+                return
+            if routed is None:
+                return  # SSE stream finished; its connection closes
+            status, payload = routed
+            await send_json(writer, status, payload, keep_alive=request.keep_alive)
+            if not request.keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+        pass  # client went away (or server shutdown); nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

@@ -1,0 +1,185 @@
+"""Thin stdlib client for the analysis server.
+
+:class:`ServeClient` wraps ``http.client`` — no dependencies, usable from
+scripts, tests, and the load generator alike. JSON calls reuse one
+keep-alive connection; the SSE stream opens its own (the server closes
+event-stream connections when the stream ends).
+
+    client = ServeClient("127.0.0.1", 8037, client_id="notebook")
+    rows = client.submit({"workload": "xlispx", "cap": 3000})
+    record = client.wait(rows[0]["id"])
+    print(record["result"]["available_parallelism"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator, List, Optional
+
+
+class ServeClientError(Exception):
+    """A non-2xx server response, carrying the HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(f"HTTP {status}: {message}")
+
+
+#: Job states the server never leaves (mirrors ``repro.serve.state``).
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class ServeClient:
+    """Blocking client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8037,
+        client_id: Optional[str] = None,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _headers(self, extra: Optional[dict] = None) -> dict:
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        if extra:
+            headers.update(extra)
+        return headers
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> dict:
+        headers = self._headers()
+        if body is not None:
+            headers["Content-Type"] = content_type
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                # A dropped keep-alive connection: reconnect once.
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            data = json.loads(payload.decode("utf-8")) if payload else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            data = {"error": payload.decode("utf-8", "replace")}
+        if response.status >= 400:
+            raise ServeClientError(response.status, data.get("error", response.reason))
+        return data
+
+    def _json(self, method: str, path: str, data: Optional[dict] = None) -> dict:
+        body = json.dumps(data).encode("utf-8") if data is not None else None
+        return self._request(method, path, body=body)
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, body: dict) -> List[dict]:
+        """Submit one spec, a ``configs`` grid, or ``{"jobs": [...]}``;
+        returns one row per job (``id``, ``state``, ``deduped``)."""
+        return self._json("POST", "/v1/jobs", body)["jobs"]
+
+    def upload_trace(self, payload: bytes) -> dict:
+        """Upload a PGT2 trace body; the returned ``trace`` id is a valid
+        job ``workload``."""
+        return self._request(
+            "POST", "/v1/traces", body=payload, content_type="application/x-pgt2"
+        )
+
+    def job(self, job_id: str) -> dict:
+        """The current status record (includes ``result`` once done)."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/metrics")
+
+    def run_report(self, run_id: str) -> dict:
+        return self._json("GET", f"/v1/runs/{run_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the final status record.
+        Raises :class:`TimeoutError` if it stays live past ``timeout``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {record['state']} after {timeout}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str, after: Optional[int] = None) -> Iterator[dict]:
+        """Stream the job's SSE events as dicts; the generator ends when
+        the server closes the stream (after the terminal event)."""
+        path = f"/v1/jobs/{job_id}/events"
+        if after is not None:
+            path += f"?after={after}"
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", path, headers=self._headers())
+            response = conn.getresponse()
+            if response.status >= 400:
+                payload = response.read()
+                try:
+                    message = json.loads(payload.decode("utf-8")).get("error", "")
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = payload.decode("utf-8", "replace")
+                raise ServeClientError(response.status, message or response.reason)
+            data_lines: List[str] = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if not line:
+                    if data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+            if data_lines:
+                yield json.loads("\n".join(data_lines))
+        finally:
+            conn.close()

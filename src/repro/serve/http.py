@@ -1,0 +1,225 @@
+"""Minimal asyncio HTTP/1.1 layer for the analysis server.
+
+Deliberately not a framework: the server speaks a small, well-understood
+subset of HTTP — request line + headers + ``Content-Length`` bodies in,
+JSON (or SSE) responses out, optional keep-alive. That subset is all the
+:mod:`repro.serve` API needs, it runs on the stdlib event loop with zero
+dependencies, and every byte on the wire is produced by code in this file
+(no hidden middleware to reason about when a drain or a fault-injection
+scenario misbehaves).
+
+Limits are enforced at the parsing boundary: oversized request lines,
+header blocks, and bodies are rejected with structured
+:class:`HttpError` responses before any handler runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Parser limits — generous for JSON control traffic, small enough that a
+#: misbehaving client cannot balloon server memory.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32768
+MAX_BODY_BYTES = 64 * 1024 * 1024  # uploaded PGT2 traces ride POST bodies
+
+#: Reason phrases for the statuses this server actually emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request-level failure with an HTTP status; handlers raise it and
+    the connection loop renders a JSON error body."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(f"{status}: {message}")
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request.
+
+    Attributes:
+        method: upper-cased HTTP method.
+        path: decoded path component (no query string).
+        query: first-value-wins query parameters.
+        headers: header map with lower-cased names.
+        body: raw request body (``b""`` when absent).
+    """
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (:class:`HttpError` 400 when it
+        is not one)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"malformed JSON body: {error}") from None
+        if not isinstance(data, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return data
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on a cleanly closed
+    connection, :class:`HttpError` on anything malformed or oversized."""
+    try:
+        request_line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long") from None
+    if len(request_line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "truncated headers") from None
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, "header block too large")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpError(411, "chunked bodies are not supported; send Content-Length")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_text!r}") from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length_text!r}")
+        if length > max_body:
+            raise HttpError(413, f"body of {length} bytes exceeds the {max_body} byte limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body") from None
+
+    split = urlsplit(target)
+    query = {name: value for name, value in parse_qsl(split.query, keep_blank_values=True)}
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """One complete HTTP/1.1 response as bytes."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_payload(data) -> bytes:
+    return (json.dumps(data, sort_keys=True) + "\n").encode("utf-8")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter, status: int, data, keep_alive: bool = True
+) -> None:
+    writer.write(render_response(status, json_payload(data), keep_alive=keep_alive))
+    await writer.drain()
+
+
+# -- server-sent events --------------------------------------------------------
+
+
+SSE_HEADERS = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: text/event-stream\r\n"
+    b"Cache-Control: no-cache\r\n"
+    b"Connection: close\r\n"
+    b"\r\n"
+)
+
+
+def format_sse(event: dict) -> bytes:
+    """One SSE frame: ``id`` carries the event sequence number (clients
+    resume with ``Last-Event-ID``/``?after=``), ``event`` the kind, and
+    ``data`` the full JSON payload."""
+    lines = []
+    if "seq" in event:
+        lines.append(f"id: {event['seq']}")
+    if "event" in event:
+        lines.append(f"event: {event['event']}")
+    lines.append(f"data: {json.dumps(event, sort_keys=True)}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+async def start_sse(writer: asyncio.StreamWriter) -> None:
+    writer.write(SSE_HEADERS)
+    await writer.drain()
+
+
+async def send_sse(writer: asyncio.StreamWriter, event: dict) -> None:
+    writer.write(format_sse(event))
+    await writer.drain()

@@ -1,0 +1,227 @@
+"""Server lifecycle: sockets, signals, drain, and embedding.
+
+Three ways to run the service:
+
+- ``python -m repro serve ...`` → :func:`run_server` (blocking; SIGTERM or
+  SIGINT triggers a graceful drain and a zero exit);
+- ``async with``-style embedding → :class:`JobServer` (used by the event
+  loop of a larger program);
+- :class:`ServerThread` → a real server on a background thread with its
+  own event loop, for tests and benchmarks that need a live socket without
+  giving up their thread.
+
+Port discovery: pass ``port=0`` to bind an ephemeral port; ``--port-file``
+writes a small JSON document (host, port, pid, run id) atomically once the
+socket is listening, which is how the smoke tests and load scripts find a
+just-started subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import signal
+import tempfile
+import threading
+from typing import Optional
+
+from repro.serve.app import handle_connection
+from repro.serve.service import AnalysisService, ServeConfig
+
+logger = logging.getLogger(__name__)
+
+#: Signals that trigger a graceful drain of a foreground server.
+DRAIN_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class JobServer:
+    """One listening socket over one :class:`AnalysisService`."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.service = AnalysisService(config)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (meaningful once :meth:`start` returns; resolves
+        ``port=0`` to the kernel-assigned ephemeral port)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Start the dispatcher and bind the listening socket."""
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        if self.config.port_file:
+            self._write_port_file()
+        logger.info(
+            "repro.serve listening on %s:%s (run %s, %d engine jobs)",
+            self.config.host, self.port, self.service.run_id, self.config.jobs,
+        )
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await handle_connection(self.service, reader, writer)
+
+    def _write_port_file(self) -> None:
+        """Atomically publish the bound address for subprocess discovery."""
+        payload = {
+            "host": self.config.host,
+            "port": self.port,
+            "pid": os.getpid(),
+            "run_id": self.service.run_id,
+        }
+        directory = os.path.dirname(os.path.abspath(self.config.port_file))
+        os.makedirs(directory, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, prefix=".port-", delete=False
+        )
+        with handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        os.replace(handle.name, self.config.port_file)
+
+    def request_stop(self) -> None:
+        """Ask a :meth:`serve_until_stopped` loop to drain and exit
+        (signal handlers and tests call this; idempotent)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def shutdown(self) -> None:
+        """Stop accepting connections, drain the service, clean up."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.drain()
+        if self.config.port_file:
+            try:
+                os.remove(self.config.port_file)
+            except OSError:
+                pass
+        logger.info(
+            "repro.serve drained (run %s resumable with --resume)", self.service.run_id
+        )
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a drain signal (or :meth:`request_stop`), then shut
+        down gracefully. Signal handlers are loop-level where the platform
+        supports them; elsewhere (non-main thread, Windows) the caller owns
+        signal delivery and uses :meth:`request_stop`."""
+        self._stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in DRAIN_SIGNALS:
+            try:
+                loop.add_signal_handler(signum, self.request_stop)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        try:
+            await self._stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+        await self.shutdown()
+
+
+async def _serve(config: ServeConfig) -> int:
+    server = JobServer(config)
+    await server.start()
+    print(f"repro.serve listening on http://{config.host}:{server.port}", flush=True)
+    if server.service.run_id:
+        print(f"run id: {server.service.run_id}", flush=True)
+    await server.serve_until_stopped()
+    return 0
+
+
+def run_server(config: ServeConfig) -> int:
+    """Run a foreground server until SIGTERM/SIGINT; returns the exit code."""
+    try:
+        return asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        # Platforms without loop signal handlers land here; the drain
+        # already ran only if the loop handler fired, so exit quietly.
+        return 130
+
+
+class ServerThread:
+    """A live server on a daemon thread (tests, benchmarks, examples).
+
+    Usage::
+
+        with ServerThread(ServeConfig(port=0)) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            ...
+
+    ``stop()`` performs the same graceful drain as SIGTERM.
+    """
+
+    def __init__(self, config: ServeConfig, startup_timeout: float = 30.0):
+        self.config = config
+        self.startup_timeout = startup_timeout
+        self.port: Optional[int] = None
+        self.server: Optional[JobServer] = None
+        self.error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 - surfaced to start()/stop()
+            self.error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        server = JobServer(self.config)
+        server._stop = asyncio.Event()
+        try:
+            await server.start()
+        except BaseException as error:  # noqa: BLE001 - surfaced to start()
+            self.error = error
+            self._ready.set()
+            return
+        self.server = server
+        self.port = server.port
+        self._ready.set()
+        await server._stop.wait()
+        await server.shutdown()
+
+    @property
+    def service(self) -> AnalysisService:
+        assert self.server is not None, "server not started"
+        return self.server.service
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(self.startup_timeout):
+            raise RuntimeError("server failed to start within the startup timeout")
+        if self.error is not None:
+            raise RuntimeError(f"server failed to start: {self.error!r}") from self.error
+        return self
+
+    def stop(self) -> None:
+        """Drain and join; safe to call more than once."""
+        if self._loop is not None and self.server is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=60.0)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not drain within 60s")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

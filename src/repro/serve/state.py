@@ -1,0 +1,240 @@
+"""Server-side job state: records, the dedupe registry, the fairness queue.
+
+Jobs are content-addressed — a :class:`JobRecord` id *is* the
+:meth:`~repro.engine.jobs.AnalysisJob.digest` of its spec — so two clients
+submitting the same (workload, cap, config, method) land on the same record
+and the engine executes it once. Every record keeps an append-only event
+log (``queued``/``started``/``retry``/terminal) that both the status
+endpoint and the SSE stream render; waiters block on a generation-swapped
+:class:`asyncio.Event`, so posting an event costs one ``set()`` regardless
+of listener count.
+
+The submission queue is bounded and fair: one FIFO lane per client id,
+drained round-robin one job per lane per turn, so a tenant dumping a
+thousand-job grid cannot starve another tenant's single submission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from typing import Deque, List, Optional
+
+from repro.engine.jobs import AnalysisJob
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a record never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Completed records kept for status queries before the oldest are dropped.
+DEFAULT_RETENTION = 4096
+
+
+class QueueFullError(Exception):
+    """The bounded submission queue is at capacity (HTTP 429 upstream)."""
+
+
+class JobRecord:
+    """One deduplicated analysis job and its event history."""
+
+    def __init__(self, job: AnalysisJob, client: str):
+        self.id = job.digest()
+        self.job = job
+        self.clients: List[str] = [client]
+        self.state = QUEUED
+        self.status: Optional[str] = None  # ok / cached / replayed / failed
+        self.error: Optional[str] = None
+        self.result: Optional[dict] = None  # serialized AnalysisResult
+        self.summary: Optional[dict] = None  # headline numbers (ILP, path, ops)
+        self.attempts = 0
+        self.seconds = 0.0
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self.events: List[dict] = []
+        self._changed = asyncio.Event()
+
+    # -- events ------------------------------------------------------------
+
+    def post(self, kind: str, **data) -> dict:
+        """Append one event and wake every waiter (event-loop thread only).
+
+        Events are sequence-numbered from 0; the SSE endpoint uses the
+        numbers as SSE ids so a dropped stream resumes where it left off.
+        """
+        event = {"seq": len(self.events), "event": kind, "job": self.id, **data}
+        self.events.append(event)
+        changed, self._changed = self._changed, asyncio.Event()
+        changed.set()
+        return event
+
+    async def wait_events(self, after: int) -> List[dict]:
+        """Every event past sequence number ``after`` (blocking until at
+        least one exists); ``[]`` once the record is terminal with nothing
+        newer — the SSE stream's end-of-stream signal."""
+        while True:
+            if len(self.events) > after:
+                return self.events[after:]
+            if self.state in TERMINAL_STATES:
+                return []
+            await self._changed.wait()
+
+    # -- transitions (event-loop thread only) ------------------------------
+
+    def mark_running(self, worker: Optional[int] = None) -> None:
+        if self.state == QUEUED:
+            self.state = RUNNING
+        self.post("started", worker=worker)
+
+    def mark_retry(self, error: Optional[str]) -> None:
+        self.attempts += 1
+        self.post("retry", error=error)
+
+    def finish(self, state: str, status: str, **data) -> None:
+        """Terminal transition; posts the terminal event last so SSE
+        streams always end on it."""
+        if self.state in TERMINAL_STATES:
+            return
+        self.state = state
+        self.status = status
+        self.finished = time.time()
+        self.post(state, status=status, **data)
+
+    def cancel(self, reason: str) -> None:
+        self.error = reason
+        self.finish(CANCELLED, "cancelled", error=reason)
+
+    # -- views -------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The status-endpoint JSON (without the result payload)."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "status": self.status,
+            "workload": self.job.workload,
+            "cap": self.job.cap,
+            "method": self.job.method,
+            "describe": self.job.describe(),
+            "clients": list(self.clients),
+            "attempts": self.attempts,
+            "seconds": self.seconds,
+            "summary": self.summary,
+            "error": self.error,
+            "created": self.created,
+            "finished": self.finished,
+            "events": len(self.events),
+        }
+
+
+class JobRegistry:
+    """Records by content id, with bounded retention of terminal records."""
+
+    def __init__(self, retention: int = DEFAULT_RETENTION):
+        self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self.retention = retention
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self._records.get(job_id)
+
+    def add(self, record: JobRecord) -> None:
+        self._records[record.id] = record
+        self._prune()
+
+    def replace(self, record: JobRecord) -> None:
+        """Install a fresh record under an id whose previous run is
+        terminal (failed-job resubmission)."""
+        self._records.pop(record.id, None)
+        self.add(record)
+
+    def _prune(self) -> None:
+        if len(self._records) <= self.retention:
+            return
+        for job_id, record in list(self._records.items()):
+            if len(self._records) <= self.retention:
+                break
+            if record.state in TERMINAL_STATES:
+                del self._records[job_id]
+
+    def records(self) -> List[JobRecord]:
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class FairQueue:
+    """Bounded multi-tenant submission queue with round-robin drain.
+
+    ``put`` is synchronous (callers see :class:`QueueFullError`
+    immediately); ``take`` is a coroutine that blocks until work exists or
+    the queue is closed. Fairness: each take round-robins across client
+    lanes, one job per lane per turn.
+    """
+
+    def __init__(self, limit: int = 256):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._lanes: "OrderedDict[str, Deque[str]]" = OrderedDict()
+        self._size = 0
+        self._closed = False
+        self._wake = asyncio.Event()
+
+    @property
+    def depth(self) -> int:
+        return self._size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, client: str, job_id: str) -> None:
+        if self._closed:
+            raise QueueFullError("queue is closed (server draining)")
+        if self._size >= self.limit:
+            raise QueueFullError(f"submission queue full ({self.limit} jobs queued)")
+        lane = self._lanes.get(client)
+        if lane is None:
+            lane = self._lanes[client] = deque()
+        lane.append(job_id)
+        self._size += 1
+        self._wake.set()
+
+    async def take(self, max_items: int) -> List[str]:
+        """Up to ``max_items`` job ids, round-robin across client lanes;
+        ``[]`` only once the queue is closed and empty."""
+        while self._size == 0:
+            if self._closed:
+                return []
+            self._wake.clear()
+            await self._wake.wait()
+        items: List[str] = []
+        while self._size and len(items) < max_items:
+            client, lane = next(iter(self._lanes.items()))
+            items.append(lane.popleft())
+            self._size -= 1
+            self._lanes.move_to_end(client)
+            if not lane:
+                del self._lanes[client]
+        return items
+
+    def drain_pending(self) -> List[str]:
+        """Remove and return every queued job id (drain path)."""
+        pending: List[str] = []
+        for lane in self._lanes.values():
+            pending.extend(lane)
+        self._lanes.clear()
+        self._size = 0
+        return pending
+
+    def close(self) -> None:
+        """Refuse further puts and unblock any waiting take."""
+        self._closed = True
+        self._wake.set()

@@ -123,3 +123,115 @@ class TestQuarantine:
         debugs = [r for r in caplog.records if r.levelname == "DEBUG"]
         assert len(debugs) == 1
         assert cache.quarantined == 2
+
+
+class TestParseSize:
+    def test_plain_bytes_and_suffixes(self):
+        from repro.engine.cache import parse_size
+
+        assert parse_size("1234") == 1234
+        assert parse_size("4K") == 4096
+        assert parse_size("2m") == 2 * 1024**2
+        assert parse_size(" 1G ") == 1024**3
+        assert parse_size("0") == 0
+
+    def test_rejects_garbage(self):
+        import pytest
+
+        from repro.engine.cache import parse_size
+
+        for bad in ("", "K", "1.5M", "-3", "10T"):
+            with pytest.raises(ValueError):
+                parse_size(bad)
+
+
+class TestSizeBudget:
+    """LRU eviction under a byte budget (--result-cache-max-bytes)."""
+
+    def _fill(self, cache, count):
+        """Store ``count`` distinct entries, oldest first; returns their
+        keys in storage order with strictly increasing mtimes."""
+        keys = []
+        for index in range(count):
+            job = _job(config=AnalysisConfig(window_size=index + 2))
+            result = analyze(TRACE.head(64), job.config)
+            key = cache_key(DIGEST, job)
+            cache.store(key, DIGEST, job, result)
+            os.utime(cache._path(key), (index, index))  # pin LRU order
+            keys.append(key)
+        return keys
+
+    def _entry_size(self, tmp_path):
+        probe = ResultCache(str(tmp_path / "probe"))
+        job = _job(config=AnalysisConfig(window_size=99))
+        key = cache_key(DIGEST, job)
+        probe.store(key, DIGEST, job, analyze(TRACE.head(64), job.config))
+        return os.path.getsize(probe._path(key))
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        self._fill(cache, 4)
+        assert len(cache) == 4
+        assert cache.evicted == 0
+
+    def test_oldest_entries_evicted_past_budget(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=3 * size + size // 2)
+        keys = self._fill(cache, 5)
+        assert len(cache) == 3
+        assert cache.load(keys[0]) is None  # oldest two gone
+        assert cache.load(keys[1]) is None
+        assert cache.load(keys[4]) is not None
+        assert cache.evicted == 2
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = ResultCache(str(tmp_path / "c"), max_bytes=10 * size)
+        keys = self._fill(cache, 3)
+        assert cache.load(keys[0]) is not None  # refreshes keys[0]'s mtime
+        cache.max_bytes = 3 * size - size // 2  # room for 2 entries
+        evicted = cache.enforce_budget()
+        assert evicted == 1
+        assert cache.load(keys[0]) is not None  # survived: recently hit
+        assert cache.load(keys[1]) is None      # evicted: now the LRU
+
+    def test_newest_entry_survives_any_budget(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_bytes=1)
+        keys = self._fill(cache, 3)
+        assert len(cache) == 1
+        assert cache.load(keys[-1]) is not None
+
+    def test_live_foreign_lock_skips_eviction(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_bytes=1)
+        with open(cache._lock_path(), "w") as handle:
+            handle.write("pid=0\n")
+        keys = self._fill(cache, 3)
+        assert cache.evicted == 0
+        assert len(cache) == 3  # another evictor presumed live; we skipped
+        os.remove(cache._lock_path())
+        assert cache.enforce_budget() == 2
+        assert cache.load(keys[-1]) is not None
+
+    def test_stale_lock_is_broken(self, tmp_path, caplog):
+        cache = ResultCache(str(tmp_path), max_bytes=1)
+        lock = cache._lock_path()
+        with open(lock, "w") as handle:
+            handle.write("pid=0\n")
+        os.utime(lock, (1, 1))  # ancient: a crashed evictor's leftover
+        with caplog.at_level("WARNING", logger="repro.engine.cache"):
+            self._fill(cache, 2)
+        assert cache.evicted == 1
+        assert any("stale" in r.getMessage() for r in caplog.records)
+        assert not os.path.exists(lock)  # released after use
+
+    def test_eviction_counter_reaches_obs(self, tmp_path):
+        from repro.obs import metrics as obs
+
+        registry = obs.enable()
+        try:
+            registry.drain()
+            cache = ResultCache(str(tmp_path), max_bytes=1)
+            self._fill(cache, 3)
+            assert registry.snapshot()["counters"]["result_cache.evicted"] == 2
+        finally:
+            obs.disable()

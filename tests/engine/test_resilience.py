@@ -547,3 +547,76 @@ class TestShmManifest:
         manifest._pid = os.getpid() + 1  # simulate a fork
         manifest.register("block_a")
         assert manifest.sweep_own() == []
+
+
+class TestWorkerSignalIsolation:
+    """A forked worker must not write signal bytes into a wakeup fd it
+    inherited from the parent.
+
+    When the parent runs an asyncio loop (repro.serve), its signal
+    handlers register a self-pipe via ``signal.set_wakeup_fd``. Workers
+    fork with that registration intact, so any signal delivered to a
+    worker — including the pool's own ``terminate()`` backstop at grid
+    teardown — would land its signal byte in the PARENT's loop, which
+    then drains as if the server itself had been SIGTERMed. The worker
+    detaches the fd before installing its handlers; this pins it.
+    """
+
+    def test_sigterm_to_worker_leaves_parent_wakeup_fd_silent(self):
+        import multiprocessing
+        import socket
+        import threading
+
+        from repro.engine.pool import JOB_STARTED
+        from repro.engine.pool import _worker_main
+
+        if threading.current_thread() is not threading.main_thread():
+            pytest.skip("set_wakeup_fd requires the main thread")
+
+        receiver, sender = socket.socketpair()
+        receiver.setblocking(False)
+        sender.setblocking(False)
+        previous = signal.set_wakeup_fd(sender.fileno())
+        task_queue = multiprocessing.Queue()
+        result_queue = multiprocessing.Queue()
+        worker = multiprocessing.Process(
+            target=_worker_main, args=(0, task_queue, result_queue, False)
+        )
+        try:
+            worker.start()
+            # A bogus task: the worker reports JOB_STARTED (proof it is
+            # past setup, i.e. past the set_wakeup_fd(-1) detach), fails
+            # the job, and blocks on the queue again.
+            task_queue.put((0, {}, ("file", "/nonexistent.pgt"), None))
+            deadline = time.monotonic() + 30
+            started = False
+            while time.monotonic() < deadline:
+                try:
+                    kind, _, _, _ = result_queue.get(timeout=0.2)
+                except Exception:
+                    continue
+                if kind == JOB_STARTED:
+                    started = True
+                    break
+            assert started, "worker never reported JOB_STARTED"
+            os.kill(worker.pid, signal.SIGTERM)
+            worker.join(timeout=30)
+            assert worker.exitcode is not None, "worker survived SIGTERM"
+            try:
+                leaked = receiver.recv(16)
+            except BlockingIOError:
+                leaked = b""
+            assert leaked == b"", (
+                f"worker signal leaked into the parent's wakeup fd: {leaked!r}"
+            )
+        finally:
+            signal.set_wakeup_fd(previous)
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=10)
+            task_queue.close()
+            task_queue.cancel_join_thread()
+            result_queue.close()
+            result_queue.cancel_join_thread()
+            receiver.close()
+            sender.close()

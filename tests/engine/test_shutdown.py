@@ -1,0 +1,96 @@
+"""Graceful-shutdown helpers: flush on exit and on SIGTERM/SIGINT."""
+
+import os
+import signal
+import time
+
+from repro.engine.shutdown import flush_engine, graceful_flush
+
+
+class FakeEngine:
+    def __init__(self, fail=False):
+        self.closed = 0
+        self.fail = fail
+
+    def close(self):
+        self.closed += 1
+        if self.fail:
+            raise RuntimeError("journal handle already gone")
+
+
+class TestFlushEngine:
+    def test_flushes(self):
+        engine = FakeEngine()
+        flush_engine(engine)
+        assert engine.closed == 1
+
+    def test_never_raises(self, caplog):
+        engine = FakeEngine(fail=True)
+        with caplog.at_level("WARNING", logger="repro.engine.shutdown"):
+            flush_engine(engine)
+        assert engine.closed == 1
+        assert any("flush failed" in r.getMessage() for r in caplog.records)
+
+
+class TestGracefulFlush:
+    def test_flushes_on_normal_exit(self):
+        engines = [FakeEngine(), FakeEngine()]
+        with graceful_flush(*engines):
+            pass
+        assert [engine.closed for engine in engines] == [1, 1]
+
+    def test_flushes_when_body_raises(self):
+        engine = FakeEngine()
+        try:
+            with graceful_flush(engine):
+                raise RuntimeError("grid exploded")
+        except RuntimeError:
+            pass
+        assert engine.closed == 1
+
+    def test_signal_flushes_then_reraises_to_previous_handler(self):
+        received = []
+        previous = signal.signal(signal.SIGTERM, lambda signum, frame: received.append(signum))
+        engine = FakeEngine()
+        try:
+            with graceful_flush(engine, signals=(signal.SIGTERM,)):
+                os.kill(os.getpid(), signal.SIGTERM)
+                deadline = time.monotonic() + 5
+                while not received and time.monotonic() < deadline:
+                    time.sleep(0.01)  # let the interpreter deliver the signal
+            # The wrapped handler flushed, restored the previous handler,
+            # and re-raised the signal against the process — which our
+            # recording handler (the "parent's" handler) then saw.
+            assert received == [signal.SIGTERM]
+            assert engine.closed >= 1
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def test_handlers_restored_after_exit(self):
+        marker = lambda signum, frame: None  # noqa: E731
+        previous = signal.signal(signal.SIGTERM, marker)
+        try:
+            with graceful_flush(FakeEngine(), signals=(signal.SIGTERM,)):
+                assert signal.getsignal(signal.SIGTERM) is not marker
+            assert signal.getsignal(signal.SIGTERM) is marker
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def test_noop_outside_main_thread(self):
+        import threading
+
+        engine = FakeEngine()
+        errors = []
+
+        def body():
+            try:
+                with graceful_flush(engine, signals=(signal.SIGTERM,)):
+                    pass
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert not errors
+        assert engine.closed == 1  # still flushes on exit, just no handlers

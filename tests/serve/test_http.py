@@ -1,0 +1,113 @@
+"""The minimal HTTP layer: parsing, limits, responses, SSE framing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    format_sse,
+    json_payload,
+    read_request,
+    render_response,
+)
+
+
+def parse(data: bytes, **kwargs):
+    async def _parse():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(_parse())
+
+
+class TestRequestParsing:
+    def test_get_with_query(self):
+        request = parse(b"GET /v1/jobs/abc/events?after=3 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/jobs/abc/events"
+        assert request.query == {"after": "3"}
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        body = b'{"workload": "xlispx"}'
+        raw = (
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        request = parse(raw)
+        assert request.body == body
+        assert request.json() == {"workload": "xlispx"}
+
+    def test_clean_close_returns_none(self):
+        assert parse(b"") is None
+
+    def test_percent_decoded_path(self):
+        request = parse(b"GET /v1/jobs/a%20b HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/jobs/a b"
+
+    def test_keep_alive_default_and_close(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        assert not parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive
+
+    @pytest.mark.parametrize(
+        "raw,status",
+        [
+            (b"GET /\r\n\r\n", 400),  # no HTTP version
+            (b"GETHTTP/1.1\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", 400),
+            (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 411),
+        ],
+    )
+    def test_malformed_requests(self, raw, status):
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == status
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100, max_body=10)
+        assert excinfo.value.status == 413
+
+    def test_oversized_request_line_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_json_body_must_be_object(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_render_response_shape(self):
+        raw = render_response(202, json_payload({"ok": True}), keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 202 Accepted"
+        assert "Connection: close" in lines
+        assert f"Content-Length: {len(body)}" in lines
+        assert json.loads(body) == {"ok": True}
+
+    def test_sse_frame(self):
+        frame = format_sse({"seq": 4, "event": "started", "job": "j"}).decode()
+        lines = frame.split("\n")
+        assert lines[0] == "id: 4"
+        assert lines[1] == "event: started"
+        assert json.loads(lines[2][len("data: "):]) == {
+            "seq": 4,
+            "event": "started",
+            "job": "j",
+        }
+        assert frame.endswith("\n\n")

@@ -1,0 +1,210 @@
+"""Server-side job state: records, registry retention, fair queueing."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.engine.jobs import AnalysisJob
+from repro.serve.state import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    FairQueue,
+    JobRecord,
+    JobRegistry,
+    QueueFullError,
+)
+
+
+def _job(cap=1000, window=None):
+    return AnalysisJob("cc1x", cap, AnalysisConfig(window_size=window))
+
+
+def _record(cap=1000, window=None, client="alpha"):
+    return JobRecord(_job(cap, window), client)
+
+
+class TestJobRecord:
+    def test_id_is_content_addressed(self):
+        assert _record().id == _job().digest()
+        assert _record(cap=2000).id != _record(cap=1000).id
+
+    def test_event_sequence(self):
+        record = _record()
+        record.post("queued")
+        record.mark_running(worker=3)
+        record.finish(DONE, "ok", seconds=1.5)
+        kinds = [event["event"] for event in record.events]
+        assert kinds == ["queued", "started", "done"]
+        assert [event["seq"] for event in record.events] == [0, 1, 2]
+        assert record.state == DONE
+        assert record.status == "ok"
+        assert record.events[1]["worker"] == 3
+
+    def test_finish_is_idempotent(self):
+        record = _record()
+        record.finish(DONE, "ok")
+        record.finish(FAILED, "failed", error="late")
+        assert record.state == DONE
+        assert len(record.events) == 1
+
+    def test_retry_counts_attempts(self):
+        record = _record()
+        record.mark_retry("worker crashed")
+        record.mark_retry("worker crashed again")
+        assert record.attempts == 2
+        assert record.events[-1]["error"] == "worker crashed again"
+
+    def test_cancel(self):
+        record = _record()
+        record.cancel("server draining")
+        assert record.state == CANCELLED
+        assert record.error == "server draining"
+        assert record.describe()["state"] == CANCELLED
+
+    def test_wait_events_returns_backlog_immediately(self):
+        async def scenario():
+            record = _record()
+            record.post("queued")
+            record.mark_running()
+            return await record.wait_events(0)
+
+        events = asyncio.run(scenario())
+        assert [event["event"] for event in events] == ["queued", "started"]
+
+    def test_wait_events_blocks_until_posted(self):
+        async def scenario():
+            record = _record()
+
+            async def later():
+                await asyncio.sleep(0.01)
+                record.post("queued")
+
+            task = asyncio.get_running_loop().create_task(later())
+            events = await asyncio.wait_for(record.wait_events(0), timeout=5)
+            await task
+            return events
+
+        events = asyncio.run(scenario())
+        assert [event["event"] for event in events] == ["queued"]
+
+    def test_wait_events_ends_after_terminal(self):
+        async def scenario():
+            record = _record()
+            record.finish(DONE, "ok")
+            first = await record.wait_events(0)
+            after = await record.wait_events(first[-1]["seq"] + 1)
+            return first, after
+
+        first, after = asyncio.run(scenario())
+        assert [event["event"] for event in first] == ["done"]
+        assert after == []
+
+
+class TestJobRegistry:
+    def test_add_get_replace(self):
+        registry = JobRegistry()
+        record = _record()
+        registry.add(record)
+        assert registry.get(record.id) is record
+        record.finish(FAILED, "failed")
+        fresh = _record()
+        registry.replace(fresh)
+        assert registry.get(record.id) is fresh
+        assert len(registry) == 1
+
+    def test_retention_prunes_only_terminal(self):
+        registry = JobRegistry(retention=2)
+        done = [_record(window=w) for w in (2, 3, 4)]
+        for record in done:
+            record.finish(DONE, "ok")
+            registry.add(record)
+        live = _record(window=5)
+        registry.add(live)
+        assert len(registry) == 2  # two oldest done records dropped
+        assert registry.get(live.id) is live
+        assert registry.get(done[0].id) is None
+
+
+class TestFairQueue:
+    def test_round_robin_across_clients(self):
+        async def scenario():
+            queue = FairQueue(limit=16)
+            for job in ("a1", "a2", "a3"):
+                queue.put("alpha", job)
+            queue.put("beta", "b1")
+            return await queue.take(4)
+
+        assert asyncio.run(scenario()) == ["a1", "b1", "a2", "a3"]
+
+    def test_take_respects_batch_size(self):
+        async def scenario():
+            queue = FairQueue(limit=16)
+            for job in ("a1", "a2", "a3"):
+                queue.put("alpha", job)
+            first = await queue.take(2)
+            second = await queue.take(2)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first == ["a1", "a2"]
+        assert second == ["a3"]
+
+    def test_bounded(self):
+        async def scenario():
+            queue = FairQueue(limit=2)
+            queue.put("alpha", "a1")
+            queue.put("beta", "b1")
+            with pytest.raises(QueueFullError):
+                queue.put("alpha", "a2")
+            assert queue.depth == 2
+
+        asyncio.run(scenario())
+
+    def test_take_blocks_until_put(self):
+        async def scenario():
+            queue = FairQueue(limit=4)
+
+            async def later():
+                await asyncio.sleep(0.01)
+                queue.put("alpha", "a1")
+
+            task = asyncio.get_running_loop().create_task(later())
+            items = await asyncio.wait_for(queue.take(1), timeout=5)
+            await task
+            return items
+
+        assert asyncio.run(scenario()) == ["a1"]
+
+    def test_close_unblocks_and_refuses(self):
+        async def scenario():
+            queue = FairQueue(limit=4)
+            waiter = asyncio.get_running_loop().create_task(queue.take(1))
+            await asyncio.sleep(0)
+            queue.close()
+            items = await asyncio.wait_for(waiter, timeout=5)
+            with pytest.raises(QueueFullError):
+                queue.put("alpha", "a1")
+            return items
+
+        assert asyncio.run(scenario()) == []
+
+    def test_drain_pending_empties_all_lanes(self):
+        async def scenario():
+            queue = FairQueue(limit=8)
+            queue.put("alpha", "a1")
+            queue.put("beta", "b1")
+            pending = queue.drain_pending()
+            assert queue.depth == 0
+            return pending
+
+        assert sorted(asyncio.run(scenario())) == ["a1", "b1"]
+
+
+class TestStates:
+    def test_lifecycle_constants(self):
+        assert QUEUED == "queued"
+        assert RUNNING == "running"
