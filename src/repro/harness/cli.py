@@ -237,6 +237,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSON {host, port, pid, run_id} document here once "
         "listening (subprocess port discovery)",
     )
+    serve.add_argument(
+        "--keepalive-timeout",
+        type=float,
+        default=75.0,
+        metavar="SECONDS",
+        help="close idle keep-alive connections after this long; 0 "
+        "disables the timeout (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--upload-budget",
+        metavar="SIZE",
+        default=None,
+        help="byte budget for uploaded traces held in memory; LRU uploads "
+        "not referenced by live jobs are evicted past it (bytes or K/M/G "
+        "suffix; default: 256M)",
+    )
 
     report_run = sub.add_parser(
         "report-run",
@@ -369,6 +385,14 @@ def _command_run(args) -> int:
 def _command_serve(args) -> int:
     from repro.serve import ServeConfig, run_server
 
+    upload_budget = ServeConfig.upload_budget_bytes
+    if args.upload_budget is not None:
+        from repro.engine.cache import parse_size
+
+        try:
+            upload_budget = parse_size(args.upload_budget)
+        except ValueError as error:
+            raise SystemExit(f"--upload-budget: {error}") from None
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -384,6 +408,8 @@ def _command_serve(args) -> int:
         batch=args.batch,
         metrics=args.metrics,
         port_file=args.port_file,
+        keepalive_timeout=args.keepalive_timeout or None,
+        upload_budget_bytes=upload_budget,
     )
     if config.resume and not config.journal_dir:
         raise SystemExit("--resume requires --journal-dir")

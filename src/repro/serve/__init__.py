@@ -9,7 +9,12 @@ surface and :mod:`repro.serve.server` for lifecycle/embedding.
 
 from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.server import JobServer, ServerThread, run_server
-from repro.serve.service import AnalysisService, ServeConfig, SpecError
+from repro.serve.service import (
+    AnalysisService,
+    ServeConfig,
+    SpecError,
+    UploadBudgetError,
+)
 
 __all__ = [
     "AnalysisService",
@@ -19,5 +24,6 @@ __all__ = [
     "ServeConfig",
     "ServerThread",
     "SpecError",
+    "UploadBudgetError",
     "run_server",
 ]

@@ -32,7 +32,12 @@ from repro.serve.http import (
     send_sse,
     start_sse,
 )
-from repro.serve.service import AnalysisService, SpecError, expand_specs
+from repro.serve.service import (
+    AnalysisService,
+    SpecError,
+    UploadBudgetError,
+    expand_specs,
+)
 from repro.serve.state import DONE, QueueFullError
 
 logger = logging.getLogger(__name__)
@@ -76,9 +81,11 @@ async def _handle_upload(service: AnalysisService, request: HttpRequest) -> tupl
     if service.draining:
         raise HttpError(503, "server is draining; uploads refused")
     try:
-        name, cap, digest = service.upload(request.body)
+        name, cap, digest = await service.upload(request.body)
     except SpecError as error:
         raise HttpError(400, str(error)) from None
+    except UploadBudgetError as error:
+        raise HttpError(413, str(error)) from None
     return 201, {"trace": name, "cap": cap, "digest": digest}
 
 
@@ -185,11 +192,16 @@ async def handle_connection(
     writer: asyncio.StreamWriter,
 ) -> None:
     """One client connection: serve keep-alive requests until close. SSE
-    responses end the connection (they have no framed length)."""
+    responses end the connection (they have no framed length). An idle
+    keep-alive connection is closed after ``keepalive_timeout`` seconds
+    so parked clients cannot pin handlers open across a drain."""
+    idle_timeout = service.config.keepalive_timeout
     try:
         while True:
             try:
-                request = await read_request(reader)
+                request = await asyncio.wait_for(read_request(reader), idle_timeout)
+            except asyncio.TimeoutError:
+                return  # idle keep-alive connection: close quietly
             except HttpError as error:
                 obs.inc("serve.http.errors")
                 await send_json(

@@ -25,7 +25,7 @@ import os
 import signal
 import tempfile
 import threading
-from typing import Optional
+from typing import Optional, Set
 
 from repro.serve.app import handle_connection
 from repro.serve.service import AnalysisService, ServeConfig
@@ -44,6 +44,7 @@ class JobServer:
         self.service = AnalysisService(config)
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop: Optional[asyncio.Event] = None
+        self._connections: Set[asyncio.Task] = set()
 
     @property
     def port(self) -> Optional[int]:
@@ -69,7 +70,14 @@ class JobServer:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        await handle_connection(self.service, reader, writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await handle_connection(self.service, reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
 
     def _write_port_file(self) -> None:
         """Atomically publish the bound address for subprocess discovery."""
@@ -96,11 +104,26 @@ class JobServer:
             self._stop.set()
 
     async def shutdown(self) -> None:
-        """Stop accepting connections, drain the service, clean up."""
+        """Stop accepting connections, drain the service, clean up.
+
+        Order matters: the drain runs *before* ``wait_closed()``. On
+        Python >= 3.12.1 ``wait_closed()`` blocks until every connection
+        handler returns, and keep-alive handlers sit in a read until the
+        client goes away — waiting on them first would make a SIGTERM
+        hang forever with the journal/metrics flush never reached. So:
+        stop accepting, drain (queued jobs cancel and post terminal
+        events, so live SSE streams end on their own), then cancel any
+        lingering keep-alive handlers and reap the socket.
+        """
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
         await self.service.drain()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
         if self.config.port_file:
             try:
                 os.remove(self.config.port_file)

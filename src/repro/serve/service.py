@@ -29,8 +29,9 @@ import asyncio
 import concurrent.futures
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import AnalysisConfig
 from repro.engine.api import ExperimentEngine
@@ -62,6 +63,11 @@ class SpecError(ValueError):
     """A submission spec that cannot become an :class:`AnalysisJob`."""
 
 
+class UploadBudgetError(Exception):
+    """The upload byte budget is exhausted and nothing is evictable
+    (HTTP 413 upstream)."""
+
+
 @dataclass
 class ServeConfig:
     """Server construction knobs (the ``repro serve`` CLI surface)."""
@@ -80,6 +86,14 @@ class ServeConfig:
     batch: Optional[int] = None
     metrics: bool = True
     port_file: Optional[str] = None
+    #: Seconds an idle keep-alive connection may sit between requests
+    #: before the server closes it (None disables the timeout). Keeps a
+    #: parked client from holding its handler open across a drain.
+    keepalive_timeout: Optional[float] = 75.0
+    #: Byte budget for uploaded traces held in memory; the least recently
+    #: used upload not referenced by a live job is evicted when a new
+    #: upload would exceed it (HTTP 413 when nothing is evictable).
+    upload_budget_bytes: int = 256 * 1024 * 1024
 
 
 class ServeStore:
@@ -90,11 +104,23 @@ class ServeStore:
     disk-spill and shared-memory machinery work on them unchanged (the
     same composition trick as ``repro.verify``'s ``GeneratedTraceStore``);
     suite workload names fall through to the normal store.
+
+    Uploads live under a byte budget: registering one that would exceed
+    ``upload_budget`` evicts least-recently-used uploads first, skipping
+    any the ``pinned`` callback claims (the service pins uploads that a
+    live job references). When nothing evictable frees enough room, the
+    upload is refused with :class:`UploadBudgetError`.
     """
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(self, directory: Optional[str] = None, upload_budget: Optional[int] = None):
         self._base = TraceStore(directory)
         self._uploads: Dict[str, int] = {}
+        self._upload_sizes: "OrderedDict[str, int]" = OrderedDict()  # LRU order
+        self._upload_total = 0
+        self.upload_budget = upload_budget
+        #: Set by the owning service: ``pinned(name)`` is True while a
+        #: live (non-terminal) job references the upload.
+        self.pinned: Optional[Callable[[str], bool]] = None
 
     @property
     def directory(self):
@@ -105,17 +131,63 @@ class ServeStore:
 
     # -- uploads -----------------------------------------------------------
 
-    def add_upload(self, trace: TraceBuffer) -> Tuple[str, int]:
+    def add_upload(self, trace: TraceBuffer, size: Optional[int] = None) -> Tuple[str, int]:
         """Register an uploaded trace; returns its (name, cap). Identical
-        uploads land on the same name — uploads dedupe by content too."""
+        uploads land on the same name — uploads dedupe by content too.
+        ``size`` is the wire size charged against the upload budget;
+        raises :class:`UploadBudgetError` when it cannot be made to fit."""
         name = f"upload-{trace.digest()[:16]}"
         cap = max(1, len(trace))
+        if name in self._uploads:
+            self.touch_upload(name)  # re-upload of known content: free
+            return name, cap
+        # Charged at wire size (the caller knows it); fall back to a
+        # per-record estimate of the PGT2 encoding for direct callers.
+        charged = size if size is not None else 48 * max(1, len(trace))
+        if self.upload_budget is not None:
+            if charged > self.upload_budget:
+                raise UploadBudgetError(
+                    f"upload of {charged} bytes exceeds the "
+                    f"{self.upload_budget} byte upload budget"
+                )
+            self._evict_uploads(self.upload_budget - charged)
         self._base._memory[(name, cap, False)] = trace
         self._uploads[name] = cap
+        self._upload_sizes[name] = charged
+        self._upload_total += charged
         return name, cap
+
+    def _evict_uploads(self, budget: int) -> None:
+        """Evict LRU un-pinned uploads until the total fits ``budget``;
+        raises :class:`UploadBudgetError` if it cannot."""
+        if self._upload_total <= budget:
+            return
+        for name in list(self._upload_sizes):
+            if self._upload_total <= budget:
+                return
+            if self.pinned is not None and self.pinned(name):
+                continue
+            cap = self._uploads.pop(name)
+            self._upload_total -= self._upload_sizes.pop(name)
+            self._base._memory.pop((name, cap, False), None)
+            obs.inc("serve.upload_evictions")
+        if self._upload_total > budget:
+            raise UploadBudgetError(
+                "upload budget exhausted and every resident upload is "
+                "referenced by a live job; retry once they finish"
+            )
+
+    def touch_upload(self, name: str) -> None:
+        """Mark an upload recently used (eviction is LRU)."""
+        if name in self._upload_sizes:
+            self._upload_sizes.move_to_end(name)
 
     def upload_cap(self, name: str) -> Optional[int]:
         return self._uploads.get(name)
+
+    @property
+    def upload_bytes(self) -> int:
+        return self._upload_total
 
     def _require_upload(self, name: str, cap: int, optimize: bool) -> TraceBuffer:
         if optimize or self._uploads.get(name) != cap:
@@ -193,12 +265,26 @@ def job_from_spec(spec: dict, store: Optional[ServeStore] = None) -> AnalysisJob
     workload = spec.get("workload") or spec.get("trace")
     if not isinstance(workload, str) or not workload:
         raise SpecError("job spec needs a 'workload' (suite name or uploaded trace id)")
+    upload_cap = store.upload_cap(workload) if store is not None else None
     cap = spec.get("cap")
     if cap is None:
-        upload_cap = store.upload_cap(workload) if store is not None else None
         cap = upload_cap if upload_cap is not None else DEFAULT_CAP
     if not isinstance(cap, int) or isinstance(cap, bool):
         raise SpecError(f"cap must be an integer, got {cap!r}")
+    if upload_cap is not None:
+        # Uploaded traces are served only at their registered cap and
+        # unoptimized; anything else would pass validation here and fail
+        # at execution — reject it as a 400 now instead.
+        if cap != upload_cap:
+            raise SpecError(
+                f"uploaded trace {workload!r} is registered at cap "
+                f"{upload_cap}; a job may not override it (got cap {cap})"
+            )
+        if spec.get("optimize"):
+            raise SpecError(
+                f"uploaded trace {workload!r} cannot run with optimize=true "
+                "(uploads are served exactly as submitted)"
+            )
     config_data = spec.get("config")
     if config_data is None:
         config = AnalysisConfig()
@@ -250,7 +336,8 @@ class AnalysisService:
 
     def __init__(self, config: ServeConfig):
         self.config = config
-        self.store = ServeStore(config.trace_dir)
+        self.store = ServeStore(config.trace_dir, upload_budget=config.upload_budget_bytes)
+        self.store.pinned = self._upload_pinned
         cache = None
         if config.result_cache:
             cache = ResultCache(config.result_cache, max_bytes=config.result_cache_max_bytes)
@@ -292,6 +379,11 @@ class AnalysisService:
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-engine"
         )
+        # Separate small executor for upload parsing — a 64MB PGT2 parse
+        # must neither stall the event loop nor queue behind the engine.
+        self._io_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="serve-io"
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -318,6 +410,7 @@ class AnalysisService:
         if self._dispatcher is not None:
             await self._dispatcher
         self._executor.shutdown(wait=True)
+        self._io_executor.shutdown(wait=True)
         flush_engine(self.engine)
 
     @property
@@ -328,6 +421,13 @@ class AnalysisService:
         self.stats[name] = self.stats.get(name, 0) + amount
         obs.inc(f"serve.{name}", amount)
 
+    def _upload_pinned(self, name: str) -> bool:
+        """An upload referenced by a live job must not be evicted."""
+        return any(
+            record.job.workload == name and record.state not in TERMINAL_STATES
+            for record in self.registry.records()
+        )
+
     # -- submission --------------------------------------------------------
 
     def submit(self, spec: dict, client: str) -> Tuple[JobRecord, bool]:
@@ -336,22 +436,59 @@ class AnalysisService:
         Raises :class:`SpecError` (bad spec) or
         :class:`~repro.serve.state.QueueFullError` (backpressure/drain).
         """
+        return self.submit_many([spec], client)[0]
+
+    def submit_many(self, specs: Sequence[dict], client: str) -> List[Tuple[JobRecord, bool]]:
+        """Dedupe-or-enqueue a batch, all-or-nothing.
+
+        Every spec is validated and the queue capacity checked against
+        the batch's distinct fresh digests *before* anything enqueues, so
+        a 400/429 means no job from this body was accepted — the client
+        never has to guess which half of a rejected batch is running.
+        (The service is single-threaded on the event loop and nothing
+        awaits between the check and the puts, so the check cannot race.)
+        """
         if self.draining:
             raise QueueFullError("server is draining; submissions refused")
-        job = job_from_spec(spec, self.store)
+        jobs = [job_from_spec(spec, self.store) for spec in specs]
+        fresh = set()
+        for job in jobs:
+            digest = job.digest()
+            if digest in fresh or self._dedupe_target(digest) is not None:
+                continue
+            fresh.add(digest)
+        if len(fresh) > self.queue.remaining:
+            raise QueueFullError(
+                f"batch needs {len(fresh)} queue slots but only "
+                f"{self.queue.remaining} of {self.queue.limit} remain; "
+                "no jobs from this submission were enqueued"
+            )
+        return [self._submit_job(job, client) for job in jobs]
+
+    def _dedupe_target(self, digest: str) -> Optional[JobRecord]:
+        """The live-or-done record a resubmission of ``digest`` attaches
+        to, if any (failed/cancelled records invite an explicit retry)."""
+        existing = self.registry.get(digest)
+        if existing is None:
+            return None
+        if existing.state in (DONE,) or existing.state not in TERMINAL_STATES:
+            return existing
+        return None
+
+    def _submit_job(self, job: AnalysisJob, client: str) -> Tuple[JobRecord, bool]:
         self._bump("submitted")
-        existing = self.registry.get(job.digest())
-        if existing is not None:
-            if existing.state in (DONE,) or existing.state not in TERMINAL_STATES:
-                # Same digest, result live or on the way: attach, don't re-run.
-                if client not in existing.clients:
-                    existing.clients.append(client)
-                self._bump("deduped")
-                return existing, True
-            # failed/cancelled: a resubmission is an explicit retry request.
+        digest = job.digest()
+        target = self._dedupe_target(digest)
+        if target is not None:
+            # Same digest, result live or on the way: attach, don't re-run.
+            if client not in target.clients:
+                target.clients.append(client)
+            self._bump("deduped")
+            return target, True
+        self.store.touch_upload(job.workload)  # live reference: protect from LRU
         record = JobRecord(job, client)
         self.queue.put(client, record.id)
-        if existing is not None:
+        if self.registry.get(digest) is not None:
             self.registry.replace(record)
         else:
             self.registry.add(record)
@@ -359,11 +496,25 @@ class AnalysisService:
         obs.gauge_set("serve.queue_depth", self.queue.depth)
         return record, False
 
-    def submit_many(self, specs: Sequence[dict], client: str) -> List[Tuple[JobRecord, bool]]:
-        return [self.submit(spec, client) for spec in specs]
+    async def upload(self, payload: bytes) -> Tuple[str, int, str]:
+        """Register an uploaded PGT2 trace; returns (name, cap, digest).
 
-    def upload(self, payload: bytes) -> Tuple[str, int, str]:
-        """Register an uploaded PGT2 trace; returns (name, cap, digest)."""
+        The temp-file write, parse, and digest run on the I/O executor so
+        a large body never stalls the event loop; registration (budget
+        accounting, eviction) happens back on the loop thread, where the
+        pin check can read the registry safely.
+        """
+        loop = self._loop if self._loop is not None else asyncio.get_running_loop()
+        trace, digest = await loop.run_in_executor(
+            self._io_executor, self._parse_upload, payload
+        )
+        name, cap = self.store.add_upload(trace, size=len(payload))
+        self._bump("uploads")
+        obs.gauge_set("serve.upload_bytes", self.store.upload_bytes)
+        return name, cap, digest
+
+    @staticmethod
+    def _parse_upload(payload: bytes) -> Tuple[TraceBuffer, str]:
         import tempfile
 
         from repro.trace.io import TraceFormatError, read_trace_file
@@ -381,9 +532,7 @@ class AnalysisService:
                 os.remove(handle.name)
             except OSError:
                 pass
-        name, cap = self.store.add_upload(trace)
-        self._bump("uploads")
-        return name, cap, trace.digest()
+        return trace, trace.digest()
 
     # -- dispatch ----------------------------------------------------------
 

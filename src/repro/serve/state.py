@@ -192,6 +192,13 @@ class FairQueue:
         return self._size
 
     @property
+    def remaining(self) -> int:
+        """Free slots before :meth:`put` starts refusing (0 when closed)."""
+        if self._closed:
+            return 0
+        return max(0, self.limit - self._size)
+
+    @property
     def closed(self) -> bool:
         return self._closed
 

@@ -142,6 +142,23 @@ class TestUpload:
             client.upload_trace(b"this is not a trace")
         assert excinfo.value.status == 400
 
+    def test_cap_override_on_upload_is_400(self, client):
+        trace = load_workload("naskerx").trace(max_instructions=400)
+        info = client.upload_trace(_trace_bytes(trace))
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit({"workload": info["trace"], "cap": info["cap"] + 1})
+        assert excinfo.value.status == 400
+        assert "registered at cap" in excinfo.value.message
+
+    def test_upload_over_budget_is_413(self):
+        config = ServeConfig(port=0, jobs=1, metrics=False, upload_budget_bytes=64)
+        with ServerThread(config) as thread:
+            with ServeClient("127.0.0.1", thread.port) as small:
+                trace = load_workload("naskerx").trace(max_instructions=200)
+                with pytest.raises(ServeClientError) as excinfo:
+                    small.upload_trace(_trace_bytes(trace))
+                assert excinfo.value.status == 413
+
 
 class TestErrors:
     def test_bad_spec_is_400(self, client):
@@ -229,6 +246,36 @@ def _start_cli_server(tmp_path, extra=()):
             raise AssertionError(f"server failed to start:\n{output}")
         time.sleep(0.05)
     return proc, json.loads(port_file.read_text())
+
+
+class TestKeepAliveConnections:
+    def test_drain_completes_with_parked_keepalive_client(self):
+        """A client holding an idle keep-alive connection open must not
+        block shutdown: the drain runs before the socket reap, and parked
+        handlers are cancelled (on Python >= 3.12.1 ``wait_closed()``
+        waits for them, so the old ordering hung forever)."""
+        config = ServeConfig(port=0, jobs=1, metrics=False)
+        with ServerThread(config) as thread:
+            parked = ServeClient("127.0.0.1", thread.port, client_id="parked")
+            try:
+                assert parked.healthz()["status"] == "ok"
+                started = time.monotonic()
+                thread.stop()  # connection still open; must drain promptly
+                assert time.monotonic() - started < 30
+            finally:
+                parked.close()
+
+    def test_idle_keepalive_connection_times_out(self):
+        import socket
+
+        config = ServeConfig(port=0, jobs=1, metrics=False, keepalive_timeout=0.2)
+        with ServerThread(config) as thread:
+            with socket.create_connection(("127.0.0.1", thread.port), timeout=10) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                sock.settimeout(10)
+                assert b"200 OK" in sock.recv(65536)
+                # Parked past the idle timeout, the server closes its end.
+                assert sock.recv(65536) == b""
 
 
 class TestDrainAndResume:

@@ -153,6 +153,16 @@ class TestFairQueue:
         assert first == ["a1", "a2"]
         assert second == ["a3"]
 
+    def test_remaining_tracks_free_slots(self):
+        queue = FairQueue(limit=2)
+        assert queue.remaining == 2
+        queue.put("alpha", "job-1")
+        assert queue.remaining == 1
+        queue.put("beta", "job-2")
+        assert queue.remaining == 0
+        queue.close()
+        assert queue.remaining == 0
+
     def test_bounded(self):
         async def scenario():
             queue = FairQueue(limit=2)
