@@ -10,12 +10,17 @@ tuple-per-record analyzer against the columnar kernels on the same
         --benchmark-json=benchmarks/BENCH_throughput.json -q
 """
 
+import resource
+
 import pytest
 
 from repro.core.analyzer import analyze
 from repro.core.config import AnalysisConfig
 from repro.core.kernels import analyze_columnar
+from repro.core.stream import stream_analyze_file
 from repro.cpu.machine import Machine
+from repro.engine import ExperimentEngine
+from repro.engine.shards import shard_analyze_file
 from repro.trace.columnar import ColumnarTrace
 from repro.workloads.suite import load_workload
 
@@ -72,6 +77,62 @@ def test_columnar_decode_from_file(benchmark, store, bench_trace):
     path, _ = store.ensure_on_disk("espressox", 100_000)
     trace = benchmark(ColumnarTrace.from_file, path)
     assert len(trace) == 100_000
+
+
+# --- streaming vs in-memory -------------------------------------------------
+# Same trace (cc1x@100k carries real conservative-syscall firewalls, so the
+# sharded path genuinely splices), same dataflow config, three pipelines:
+# whole-file decode + kernel, chunked frontier streaming, and pool-sharded
+# stitch. check_regression.py --stream-gate turns the same-run ratios into a
+# gating bound on streaming/sharding overhead (machine speed cancels out).
+
+
+@pytest.fixture(scope="module")
+def stream_file(store):
+    path, _ = store.ensure_on_disk("cc1x", 100_000)
+    return path
+
+
+@pytest.fixture(scope="module")
+def shard_engine():
+    engine = ExperimentEngine(jobs=2)
+    yield engine
+    engine.close()
+
+
+def _record_peak_rss(benchmark):
+    benchmark.extra_info["peak_rss_kb"] = resource.getrusage(
+        resource.RUSAGE_SELF
+    ).ru_maxrss
+
+
+def test_inmemory_throughput_from_file(benchmark, stream_file):
+    def run():
+        return analyze_columnar(ColumnarTrace.from_file(stream_file), AnalysisConfig())
+
+    result = benchmark(run)
+    _record_peak_rss(benchmark)
+    assert result.records_processed == 100_000
+
+
+def test_stream_throughput_from_file(benchmark, stream_file):
+    result = benchmark(
+        stream_analyze_file, stream_file, AnalysisConfig(), chunk_records=16_384
+    )
+    _record_peak_rss(benchmark)
+    assert result.records_processed == 100_000
+
+
+def test_sharded_throughput_pool(benchmark, stream_file, shard_engine):
+    result = benchmark(
+        shard_analyze_file,
+        stream_file,
+        AnalysisConfig(),
+        shard_size=16_384,
+        engine=shard_engine,
+    )
+    _record_peak_rss(benchmark)
+    assert result.records_processed == 100_000
 
 
 def test_simulator_throughput(benchmark):

@@ -13,6 +13,12 @@ Deliberately non-gating: shared CI runners are too noisy to fail merges
 on, so the exit code is always 0 — the committed baseline
 (``benchmarks/BENCH_throughput.json``) stays the reference for local,
 quiet-machine comparisons.
+
+The one exception is ``--stream-gate``: it compares the streaming and
+pool-sharded pipelines against the in-memory pipeline *within the same
+fresh run*, so machine speed cancels out and the overhead ratios are
+stable enough to gate on. A streaming regression past the ratio bounds
+exits non-zero and fails CI.
 """
 
 from __future__ import annotations
@@ -44,6 +50,54 @@ def load_means(path: str) -> dict:
     return means
 
 
+#: Same-run ratio bounds for --stream-gate. Local quiet-machine ratios are
+#: ~1.0x (stream) and ~1.3x (sharded, 2-worker pool incl. IPC); the bounds
+#: leave headroom for runner jitter while still catching a structural
+#: regression (an accidental extra decode, a chunk-boundary quadratic).
+STREAM_GATE_BENCHES = {
+    "stream": "test_stream_throughput_from_file",
+    "sharded": "test_sharded_throughput_pool",
+}
+STREAM_GATE_BASELINE = "test_inmemory_throughput_from_file"
+STREAM_GATE_MAX = {"stream": 1.6, "sharded": 3.0}
+
+
+def stream_gate(fresh: dict) -> int:
+    """Gate streaming/sharding overhead on same-run ratios; returns an
+    exit code (0 ok, 1 regression, 2 missing benchmarks)."""
+    missing = sorted(
+        name
+        for name in [STREAM_GATE_BASELINE, *STREAM_GATE_BENCHES.values()]
+        if name not in fresh
+    )
+    if missing:
+        print(
+            f"check_regression: --stream-gate needs benchmarks {missing} "
+            "in the fresh results (run bench_throughput.py with "
+            '-k "from_file or sharded_throughput")',
+            file=sys.stderr,
+        )
+        return 2
+    baseline = fresh[STREAM_GATE_BASELINE]
+    failed = False
+    for label, name in sorted(STREAM_GATE_BENCHES.items()):
+        ratio = fresh[name] / baseline if baseline else 0.0
+        bound = STREAM_GATE_MAX[label]
+        ok = ratio <= bound
+        print(
+            f"{label:<8} {fresh[name] * 1000:9.2f}ms / "
+            f"{baseline * 1000:9.2f}ms in-memory = {ratio:5.2f}x "
+            f"(bound {bound:.1f}x) {'ok' if ok else '<-- REGRESSION'}"
+        )
+        if not ok:
+            print(
+                f"::error title=streaming overhead::{name} runs {ratio:.2f}x "
+                f"the in-memory pipeline (bound {bound:.1f}x, same-run ratio)"
+            )
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", help="fresh pytest-benchmark JSON")
@@ -58,10 +112,18 @@ def main(argv=None) -> int:
         default=0.20,
         help="relative slowdown that triggers a warning (default: %(default)s)",
     )
+    parser.add_argument(
+        "--stream-gate",
+        action="store_true",
+        help="gate on same-run streaming/sharding overhead ratios "
+        "(exits non-zero on regression; skips the baseline diff)",
+    )
     args = parser.parse_args(argv)
 
     try:
         fresh = load_means(args.results)
+        if args.stream_gate:
+            return stream_gate(fresh)
         baseline = load_means(args.baseline)
     except MetricsFormatError as error:
         print(f"check_regression: {error}", file=sys.stderr)

@@ -66,6 +66,42 @@ def _analyze_oracle(trace, config: AnalysisConfig) -> AnalysisResult:
     return oracle_analyze(trace, config)
 
 
+def _analyze_stream(trace, config: AnalysisConfig) -> AnalysisResult:
+    """Chunked streaming re-analysis: one frontier advanced over ~3 cuts
+    (exercising resume-at-a-cut for every configuration). Late-binds
+    through the module attribute so the harness can mutate it."""
+    from repro.core import stream
+
+    if not isinstance(trace, ColumnarTrace):
+        trace = ColumnarTrace.from_buffer(trace)
+    chunk = max(1, (len(trace) + 2) // 3)
+    return stream.stream_analyze_trace(trace, config, chunk_records=chunk)
+
+
+def _analyze_sharded(trace, config: AnalysisConfig) -> AnalysisResult:
+    """Full shard machinery in-process over ~4 segments: fresh-frontier
+    suffix summaries where the configuration allows splicing, prefix
+    replay + stitch otherwise (see :mod:`repro.core.stream`)."""
+    from repro.core import stream
+
+    if not isinstance(trace, ColumnarTrace):
+        trace = ColumnarTrace.from_buffer(trace)
+    shard = max(1, (len(trace) + 3) // 4)
+    return stream.shard_analyze_trace(trace, config, shard_size=shard)
+
+
+def _analyze_segment(trace, config: AnalysisConfig):
+    """Shard pass 1: treat the (segment) trace as standalone and summarize
+    everything past its first conservative syscall from a fresh frontier.
+    Returns a :class:`~repro.core.stream.SegmentSummary`, not an
+    :class:`AnalysisResult` — the stitch pass splices it."""
+    from repro.core import stream
+
+    if not isinstance(trace, ColumnarTrace):
+        trace = ColumnarTrace.from_buffer(trace)
+    return stream.summarize_segment(trace, config)
+
+
 #: Analysis methods a job may request. Values take ``(trace, config)`` and
 #: return an :class:`AnalysisResult`. ``forward`` and ``twopass`` are the
 #: production pair (identical results except ``peak_live_well``, see
@@ -73,7 +109,11 @@ def _analyze_oracle(trace, config: AnalysisConfig) -> AnalysisResult:
 #: the differential verification harness (:mod:`repro.verify`) — ``legacy``
 #: (streaming loop on tuples), ``columnar`` (kernels, every config),
 #: ``reference`` (readable live-well pass), and ``oracle`` (explicit DDG +
-#: longest path; sentinel ``firewalls``/``peak_live_well``).
+#: longest path; sentinel ``firewalls``/``peak_live_well``). ``stream``
+#: and ``sharded`` run the bounded-memory chunk/shard machinery of
+#: :mod:`repro.core.stream` (results identical to ``forward``); ``segment``
+#: is the shard pass-1 worker method and returns a
+#: :class:`~repro.core.stream.SegmentSummary` instead of a result.
 METHODS: Dict[str, Callable[[TraceBuffer, AnalysisConfig], AnalysisResult]] = {
     "forward": analyze,
     "twopass": twopass_analyze,
@@ -81,10 +121,13 @@ METHODS: Dict[str, Callable[[TraceBuffer, AnalysisConfig], AnalysisResult]] = {
     "columnar": _analyze_columnar,
     "reference": _analyze_reference,
     "oracle": _analyze_oracle,
+    "stream": _analyze_stream,
+    "sharded": _analyze_sharded,
+    "segment": _analyze_segment,
 }
 
 #: Methods whose fastest input is a :class:`ColumnarTrace`.
-_COLUMNAR_METHODS = frozenset({"forward", "columnar"})
+_COLUMNAR_METHODS = frozenset({"forward", "columnar", "stream", "sharded", "segment"})
 
 
 @dataclass(frozen=True)

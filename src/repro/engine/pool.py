@@ -207,10 +207,29 @@ def _absorb_telemetry(telemetry: Optional[dict]):
 
 def _load_trace(trace_ref: Tuple[str, str]):
     """Resolve a ``(kind, target)`` trace reference: attach a shared-memory
-    columnar block zero-copy, or decode a ``.pgt`` file."""
+    columnar block zero-copy, decode one byte-extent slice of a trace file
+    (a shard segment, digest-verified in isolation), or decode a whole
+    ``.pgt`` file."""
     kind, target = trace_ref
     if kind == "shm":
         return ColumnarTrace.from_shared_memory(target)
+    if kind == "slice":
+        from repro.trace.chunked import decode_slice
+        from repro.trace.segments import SegmentMap
+
+        spec = json.loads(target)
+        return decode_slice(
+            spec["path"],
+            spec["offset"],
+            spec["length"],
+            spec["count"],
+            SegmentMap(
+                data_base=spec["segments"]["data_base"],
+                stack_floor=spec["segments"]["stack_floor"],
+                stack_top=spec["segments"]["stack_top"],
+            ),
+            digest=spec.get("digest"),
+        )
     return read_trace_file(target)
 
 
@@ -517,6 +536,7 @@ def execute_jobs(
     # parent and unlinked in the finally below once the grid drains.
     shm_blocks: List[object] = []
     trace_refs: Dict[tuple, Tuple[str, str]] = {}
+    ref_hook = getattr(store, "trace_ref", None)
     columnar = getattr(store, "columnar", None) if shared_memory else None
     for index, job in enumerate(jobs):
         trace_key = job.trace_key
@@ -524,6 +544,18 @@ def execute_jobs(
             continue
         path, _ = trace_files[trace_key]
         ref = ("path", path)
+        if ref_hook is not None:
+            # A store that knows a cheaper way for workers to load this
+            # trace (e.g. a shard store handing out byte-extent slices of
+            # one big file) overrides both shm packing and whole-file
+            # decode; any hook failure falls back to the standard refs.
+            try:
+                hook_ref = ref_hook(job.workload, job.cap, optimize=job.optimize)
+            except Exception:  # noqa: BLE001 - the hook is advisory
+                hook_ref = None
+            if hook_ref is not None:
+                trace_refs[trace_key] = (hook_ref[0], hook_ref[1])
+                continue
         if columnar is not None:
             try:
                 with span("shm_pack"):

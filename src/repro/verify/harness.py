@@ -67,6 +67,13 @@ BASELINE_METHOD = "legacy"
 #: Implementations diffed against the baseline on the case config.
 DIFF_METHODS = ("columnar", "twopass", "reference")
 
+#: The exact-vs-sharded metamorphic pair: ``stream`` re-analyzes the case
+#: trace through chunked frontier streaming, ``sharded`` through the full
+#: segment-summary + splice machinery (see :mod:`repro.core.stream`).
+#: Both must match the baseline on *every* field — no masking — for every
+#: configuration, eligible for splicing or not.
+SHARD_CHECKS = (("shard:stream", "stream"), ("shard:stitch", "sharded"))
+
 #: Window sizes of the window-monotonicity chain (None = unlimited).
 WINDOW_CHAIN: Tuple[Optional[int], ...] = (1, 4, 16, None)
 
@@ -99,9 +106,22 @@ def _pure_dataflow(scale: int) -> AnalysisConfig:
     )
 
 
-def case_plan(config: AnalysisConfig) -> List[Tuple[str, str, AnalysisConfig]]:
-    """The analyses one case needs, as ``(tag, method, config)`` triples."""
+def case_plan(
+    config: AnalysisConfig, focus: str = "all"
+) -> List[Tuple[str, str, AnalysisConfig]]:
+    """The analyses one case needs, as ``(tag, method, config)`` triples.
+
+    ``focus="shard"`` restricts the plan to the baseline plus the
+    exact-vs-sharded pair (the CI shard-equivalence gate runs many more
+    cases than the full sweep could afford per case)."""
     plan = [(f"diff:{BASELINE_METHOD}", BASELINE_METHOD, config)]
+    if focus == "shard":
+        plan.extend((tag, method, config) for tag, method in SHARD_CHECKS)
+        return plan
+    if focus != "all":
+        raise ValueError(f"unknown verification focus {focus!r}")
+    for tag, method in SHARD_CHECKS:
+        plan.append((tag, method, config))
     for method in DIFF_METHODS:
         plan.append((f"diff:{method}", method, config))
     if _oracle_supported(config):
@@ -222,6 +242,14 @@ def evaluate_case(
                 failures.extend(
                     diff_results(BASELINE_METHOD, baseline, method, result)
                 )
+        for tag, method in SHARD_CHECKS:
+            result = results.get(tag)
+            if result is not None:
+                # Exact-vs-sharded invariant: unmasked field-for-field
+                # equality (peak_live_well included) against the baseline.
+                failures.extend(
+                    diff_results(BASELINE_METHOD, baseline, method, result)
+                )
         failures.extend(_census_failures(trace, config, baseline))
 
     rename_tags = [f"rename:{step}" for step in range(len(_RENAME_STEPS))]
@@ -288,9 +316,11 @@ def analyze_case(
     return results, errors
 
 
-def verify_case(trace: TraceBuffer, config: AnalysisConfig) -> List[str]:
+def verify_case(
+    trace: TraceBuffer, config: AnalysisConfig, focus: str = "all"
+) -> List[str]:
     """Fully verify one (trace, config) in-process; empty list = pass."""
-    results, errors = analyze_case(trace, config)
+    results, errors = analyze_case(trace, config, plan=case_plan(config, focus))
     return errors + evaluate_case(trace, config, results)
 
 
@@ -424,6 +454,7 @@ def run_verification(
     engine=None,
     max_failures: int = 20,
     progress: Optional[Callable[[int, int], None]] = None,
+    focus: str = "all",
 ) -> VerifySummary:
     """Fuzz ``cases`` generated cases under ``seed``.
 
@@ -431,7 +462,8 @@ def run_verification(
     in-process). Failing cases are re-verified in-process, shrunk by
     greedy deletion when ``shrink`` is set, and persisted under
     ``artifact_dir`` when given. Evaluation stops after ``max_failures``
-    failing cases.
+    failing cases. ``focus`` narrows the per-case plan (``"shard"`` runs
+    just the exact-vs-sharded invariant, see :func:`case_plan`).
     """
     if engine is None:
         from repro.engine.api import ExperimentEngine
@@ -448,7 +480,7 @@ def run_verification(
     index_map: List[Tuple[int, str]] = []
     for case in all_cases:
         cap = store.add(case.name, case.trace)
-        for tag, method, cfg in case_plan(case.config):
+        for tag, method, cfg in case_plan(case.config, focus):
             grid.append(AnalysisJob(workload=case.name, cap=cap, config=cfg, method=method))
             index_map.append((case.index, tag))
 
@@ -477,9 +509,10 @@ def run_verification(
         trace = case.trace
         if shrink:
             shrunk = shrink_trace(
-                trace, lambda candidate: bool(verify_case(candidate, case.config))
+                trace,
+                lambda candidate: bool(verify_case(candidate, case.config, focus)),
             )
-            refreshed = verify_case(shrunk, case.config)
+            refreshed = verify_case(shrunk, case.config, focus)
             if refreshed:  # guard: keep the original if shrinking lost the bug
                 trace, case_failures = shrunk, refreshed
         artifacts: Tuple[str, ...] = ()
@@ -512,6 +545,7 @@ __all__ = [
     "BASELINE_METHOD",
     "CaseFailure",
     "DIFF_METHODS",
+    "SHARD_CHECKS",
     "GeneratedTraceStore",
     "VerifyCase",
     "VerifySummary",

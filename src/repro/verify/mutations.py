@@ -18,6 +18,10 @@ Mutations:
 - ``legacy-war-loss`` — the streaming analyzer forgets write-after-read
   constraints (it analyzes as if every storage class were renamed).
   Caught on any case with renaming off and a binding WAR hazard.
+- ``stream-splice-skew`` — the shard stitch grafts segment summaries one
+  level too shallow (``offset = floor - 1`` instead of the true floor at
+  the cut). Caught by the exact-vs-sharded invariant on any case whose
+  sharded run actually splices a summary with post-cut placements.
 
 Both patch through module attributes that the call sites late-bind
 (``kernels._dispatch`` resolves ``_kernel_*`` as globals per call;
@@ -91,9 +95,28 @@ def mutate_legacy_war_loss():
         analyzer.analyze = original
 
 
+@contextmanager
+def mutate_stream_splice_skew():
+    """The shard stitch splices summaries one level too shallow."""
+    from repro.core import stream
+
+    original = stream.splice
+
+    def mutant(fr, summary):
+        fr.floor -= 1  # corrupt the cut offset the splice algebra relies on
+        return original(fr, summary)
+
+    stream.splice = mutant
+    try:
+        yield
+    finally:
+        stream.splice = original
+
+
 MUTATIONS = {
     "kernel-load-skew": mutate_kernel_load_skew,
     "legacy-war-loss": mutate_legacy_war_loss,
+    "stream-splice-skew": mutate_stream_splice_skew,
 }
 
 

@@ -127,6 +127,9 @@ class TestMethods:
             "columnar",
             "reference",
             "oracle",
+            "stream",
+            "sharded",
+            "segment",
         }
 
     @pytest.mark.parametrize(
@@ -138,13 +141,17 @@ class TestMethods:
             ("legacy", False),
             ("reference", False),
             ("oracle", False),
+            ("stream", True),
+            ("sharded", True),
+            ("segment", True),
         ],
     )
     def test_prefers_columnar(self, method, columnar):
         assert AnalysisJob("cc1x", 100, method=method).prefers_columnar is columnar
 
     @pytest.mark.parametrize(
-        "method", ["forward", "twopass", "legacy", "columnar", "reference"]
+        "method",
+        ["forward", "twopass", "legacy", "columnar", "reference", "stream", "sharded"],
     )
     def test_all_methods_agree_on_either_representation(self, method):
         """Every method accepts both trace representations via job.run and
