@@ -56,6 +56,7 @@ def analyze(
     trace: Iterable,
     config: Optional[AnalysisConfig] = None,
     segments: Optional[SegmentMap] = None,
+    backend: str = "python",
 ) -> AnalysisResult:
     """Run one Paragraph analysis over ``trace``.
 
@@ -66,12 +67,34 @@ def analyze(
         config: the analysis configuration (defaults to the dataflow limit:
             conservative syscalls, full renaming, unlimited window).
         segments: segment map override for plain iterables.
+        backend: ``"python"`` (default) or ``"numpy"``. The numpy backend
+            evaluates the same placement rule over level-frontier batches
+            (:mod:`repro.core.vkernels`) and is bit-identical; it applies
+            when NumPy is importable, the configuration is eligible
+            (no branch predictor, no constrained resources), and the
+            trace is columnar (or a buffer, converted once) — anything
+            else falls back to the python loops silently. Results never
+            depend on the backend.
 
     Returns:
         An :class:`~repro.core.results.AnalysisResult`.
     """
     if config is None:
         config = AnalysisConfig()
+    if backend != "python":
+        from repro.core import vkernels
+
+        if backend not in vkernels.BACKENDS:
+            raise ValueError(f"unknown analysis backend {backend!r}")
+        if vkernels.available() and vkernels.eligible(config):
+            vtrace = trace
+            if not isinstance(vtrace, ColumnarTrace):
+                from repro.trace.buffer import TraceBuffer
+
+                if isinstance(vtrace, TraceBuffer):
+                    vtrace = ColumnarTrace.from_buffer(vtrace)
+            if isinstance(vtrace, ColumnarTrace):
+                return vkernels.analyze_vectorized(vtrace, config, segments)
     if isinstance(trace, ColumnarTrace):
         from repro.core.kernels import KERNEL_GENERIC, analyze_columnar, select_kernel
 

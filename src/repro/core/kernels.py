@@ -100,17 +100,31 @@ def analyze_columnar(
     trace,
     config: Optional[AnalysisConfig] = None,
     segments: Optional[SegmentMap] = None,
+    backend: str = "python",
 ) -> AnalysisResult:
     """Run one Paragraph analysis over a :class:`ColumnarTrace`.
 
     Drop-in equivalent of :func:`repro.core.analyzer.analyze` (which
     routes here when handed a columnar trace); results are identical
     field-for-field across the whole configuration space.
+
+    ``backend="numpy"`` routes eligible configurations through the
+    vectorized kernels (:mod:`repro.core.vkernels`) and falls back to
+    the python kernels — bit-identically — when NumPy is unavailable or
+    the configuration is ineligible. The backend is an execution
+    strategy, never a semantic knob.
     """
     if config is None:
         config = AnalysisConfig()
     if segments is None:
         segments = getattr(trace, "segments", DEFAULT_SEGMENTS)
+    if backend != "python":
+        from repro.core import vkernels
+
+        if backend not in vkernels.BACKENDS:
+            raise ValueError(f"unknown analysis backend {backend!r}")
+        if vkernels.available() and vkernels.eligible(config):
+            return vkernels.analyze_vectorized(trace, config, segments)
     kernel = select_kernel(config)
     # The span is per analysis, not per record: with metrics off this is a
     # single predicate on the null registry, keeping the kernels inside

@@ -39,14 +39,26 @@ def _analyze_legacy(trace, config: AnalysisConfig) -> AnalysisResult:
     return analyzer.analyze(trace, config)
 
 
-def _analyze_columnar(trace, config: AnalysisConfig) -> AnalysisResult:
+def _analyze_columnar(trace, config: AnalysisConfig, backend: str = "python") -> AnalysisResult:
     """The config-specialized columnar kernels, forced for every config
     (including generic ones ``forward`` would bounce back to tuples)."""
     from repro.core import kernels
 
     if not isinstance(trace, ColumnarTrace):
         trace = ColumnarTrace.from_buffer(trace)
-    return kernels.analyze_columnar(trace, config)
+    return kernels.analyze_columnar(trace, config, backend=backend)
+
+
+def _analyze_vkernel(trace, config: AnalysisConfig) -> AnalysisResult:
+    """The vectorized NumPy backend (:mod:`repro.core.vkernels`), pinned
+    for the differential harness. Routes through the kernel dispatcher's
+    backend knob, so ineligible configurations (or a missing NumPy) fall
+    back to the python kernels — the results are identical either way."""
+    from repro.core import kernels
+
+    if not isinstance(trace, ColumnarTrace):
+        trace = ColumnarTrace.from_buffer(trace)
+    return kernels.analyze_columnar(trace, config, backend="numpy")
 
 
 def _analyze_reference(trace, config: AnalysisConfig) -> AnalysisResult:
@@ -66,7 +78,7 @@ def _analyze_oracle(trace, config: AnalysisConfig) -> AnalysisResult:
     return oracle_analyze(trace, config)
 
 
-def _analyze_stream(trace, config: AnalysisConfig) -> AnalysisResult:
+def _analyze_stream(trace, config: AnalysisConfig, backend: str = "python") -> AnalysisResult:
     """Chunked streaming re-analysis: one frontier advanced over ~3 cuts
     (exercising resume-at-a-cut for every configuration). Late-binds
     through the module attribute so the harness can mutate it."""
@@ -75,10 +87,10 @@ def _analyze_stream(trace, config: AnalysisConfig) -> AnalysisResult:
     if not isinstance(trace, ColumnarTrace):
         trace = ColumnarTrace.from_buffer(trace)
     chunk = max(1, (len(trace) + 2) // 3)
-    return stream.stream_analyze_trace(trace, config, chunk_records=chunk)
+    return stream.stream_analyze_trace(trace, config, chunk_records=chunk, backend=backend)
 
 
-def _analyze_sharded(trace, config: AnalysisConfig) -> AnalysisResult:
+def _analyze_sharded(trace, config: AnalysisConfig, backend: str = "python") -> AnalysisResult:
     """Full shard machinery in-process over ~4 segments: fresh-frontier
     suffix summaries where the configuration allows splicing, prefix
     replay + stitch otherwise (see :mod:`repro.core.stream`)."""
@@ -87,10 +99,10 @@ def _analyze_sharded(trace, config: AnalysisConfig) -> AnalysisResult:
     if not isinstance(trace, ColumnarTrace):
         trace = ColumnarTrace.from_buffer(trace)
     shard = max(1, (len(trace) + 3) // 4)
-    return stream.shard_analyze_trace(trace, config, shard_size=shard)
+    return stream.shard_analyze_trace(trace, config, shard_size=shard, backend=backend)
 
 
-def _analyze_segment(trace, config: AnalysisConfig):
+def _analyze_segment(trace, config: AnalysisConfig, backend: str = "python"):
     """Shard pass 1: treat the (segment) trace as standalone and summarize
     everything past its first conservative syscall from a fresh frontier.
     Returns a :class:`~repro.core.stream.SegmentSummary`, not an
@@ -99,7 +111,7 @@ def _analyze_segment(trace, config: AnalysisConfig):
 
     if not isinstance(trace, ColumnarTrace):
         trace = ColumnarTrace.from_buffer(trace)
-    return stream.summarize_segment(trace, config)
+    return stream.summarize_segment(trace, config, backend=backend)
 
 
 #: Analysis methods a job may request. Values take ``(trace, config)`` and
@@ -113,12 +125,14 @@ def _analyze_segment(trace, config: AnalysisConfig):
 #: and ``sharded`` run the bounded-memory chunk/shard machinery of
 #: :mod:`repro.core.stream` (results identical to ``forward``); ``segment``
 #: is the shard pass-1 worker method and returns a
-#: :class:`~repro.core.stream.SegmentSummary` instead of a result.
+#: :class:`~repro.core.stream.SegmentSummary` instead of a result;
+#: ``vkernel`` pins the vectorized NumPy backend for the same harness.
 METHODS: Dict[str, Callable[[TraceBuffer, AnalysisConfig], AnalysisResult]] = {
     "forward": analyze,
     "twopass": twopass_analyze,
     "legacy": _analyze_legacy,
     "columnar": _analyze_columnar,
+    "vkernel": _analyze_vkernel,
     "reference": _analyze_reference,
     "oracle": _analyze_oracle,
     "stream": _analyze_stream,
@@ -127,7 +141,13 @@ METHODS: Dict[str, Callable[[TraceBuffer, AnalysisConfig], AnalysisResult]] = {
 }
 
 #: Methods whose fastest input is a :class:`ColumnarTrace`.
-_COLUMNAR_METHODS = frozenset({"forward", "columnar", "stream", "sharded", "segment"})
+_COLUMNAR_METHODS = frozenset(
+    {"forward", "columnar", "vkernel", "stream", "sharded", "segment"}
+)
+
+#: Methods whose callable accepts a ``backend=`` keyword (the rest are
+#: implementation-pinned and ignore the job's backend preference).
+_BACKEND_METHODS = frozenset({"forward", "columnar", "stream", "sharded", "segment"})
 
 
 @dataclass(frozen=True)
@@ -143,6 +163,11 @@ class AnalysisJob:
             verification methods in :data:`METHODS`.
         optimize: analyze the compiler-optimized trace of the workload
             (the abl-compiler grid axis).
+        backend: ``"python"`` (default) or ``"numpy"`` — the execution
+            strategy preference forwarded to backend-aware methods.
+            Never part of the job's :meth:`digest`: the backends are
+            bit-identical, so both spellings of a job share one cache
+            entry. Implementation-pinned methods ignore it.
     """
 
     workload: str
@@ -150,6 +175,7 @@ class AnalysisJob:
     config: AnalysisConfig = field(default_factory=AnalysisConfig)
     method: str = "forward"
     optimize: bool = False
+    backend: str = "python"
 
     def __post_init__(self):
         if self.method not in METHODS:
@@ -159,19 +185,29 @@ class AnalysisJob:
             )
         if self.cap < 1:
             raise ValueError(f"cap must be >= 1, got {self.cap}")
+        if self.backend not in ("python", "numpy"):
+            raise ValueError(
+                f"unknown analysis backend {self.backend!r}; "
+                "choose from python, numpy"
+            )
 
     # -- identity ----------------------------------------------------------
 
     def canonical(self) -> dict:
         """JSON-safe canonical form (wire format across processes and the
-        job half of cache keys)."""
-        return {
+        job half of cache keys). The ``backend`` key appears only when it
+        is not the default, so canonical forms written before the backend
+        knob existed stay byte-identical."""
+        data = {
             "workload": self.workload,
             "cap": self.cap,
             "config": self.config.canonical(),
             "method": self.method,
             "optimize": self.optimize,
         }
+        if self.backend != "python":
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_canonical(cls, data: dict) -> "AnalysisJob":
@@ -182,12 +218,20 @@ class AnalysisJob:
             config=AnalysisConfig.from_canonical(data["config"]),
             method=data["method"],
             optimize=data["optimize"],
+            backend=data.get("backend", "python"),
         )
 
     def digest(self) -> str:
-        """Stable hex digest of the job spec, identical across processes."""
+        """Stable hex digest of the job spec, identical across processes.
+
+        The backend is stripped first: it is an execution strategy, not
+        semantics, so a numpy-backed job hits (and fills) the same result
+        cache entry as its python twin.
+        """
+        canonical = self.canonical()
+        canonical.pop("backend", None)
         payload = json.dumps(
-            self.canonical(), sort_keys=True, separators=(",", ":")
+            canonical, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()
 
@@ -202,6 +246,8 @@ class AnalysisJob:
         extras = []
         if self.method != "forward":
             extras.append(self.method)
+        if self.backend != "python":
+            extras.append(self.backend)
         if self.optimize:
             extras.append("optimized")
         suffix = f" [{', '.join(extras)}]" if extras else ""
@@ -233,4 +279,6 @@ class AnalysisJob:
         """
         if isinstance(trace, ColumnarTrace) and not self.prefers_columnar:
             trace = trace.to_buffer()
+        if self.backend != "python" and self.method in _BACKEND_METHODS:
+            return METHODS[self.method](trace, self.config, backend=self.backend)
         return METHODS[self.method](trace, self.config)

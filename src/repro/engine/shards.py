@@ -138,7 +138,9 @@ class ShardTraceStore:
         return False
 
 
-def shard_grid(manifest: TraceManifest, config: AnalysisConfig) -> List[AnalysisJob]:
+def shard_grid(
+    manifest: TraceManifest, config: AnalysisConfig, backend: str = "python"
+) -> List[AnalysisJob]:
     """The pass-1 job grid: one ``method="segment"`` job per segment that
     has a syscall to cut at *and* records after it (a segment whose only
     records are its prefix has an empty suffix — nothing to summarize)."""
@@ -148,6 +150,7 @@ def shard_grid(manifest: TraceManifest, config: AnalysisConfig) -> List[Analysis
             cap=entry.count,
             config=config,
             method="segment",
+            backend=backend,
         )
         for entry in manifest.entries
         if entry.first_syscall >= 0 and entry.prefix_count < entry.count
@@ -159,6 +162,7 @@ def shard_analyze_file(
     config: Optional[AnalysisConfig] = None,
     shard_size: Optional[int] = None,
     engine=None,
+    backend: str = "python",
 ) -> AnalysisResult:
     """Analyze a PGT2 trace file with bounded memory, in parallel when
     possible.
@@ -175,12 +179,12 @@ def shard_analyze_file(
         config, shard_size if shard_size is not None else DEFAULT_SHARD_RECORDS
     )
     if engine is None or engine.jobs <= 1 or not splice_eligible(config):
-        return stream_analyze_file(path, config, chunk_records=size)
+        return stream_analyze_file(path, config, chunk_records=size, backend=backend)
 
     manifest = segment_manifest(path, size)
-    grid = shard_grid(manifest, config)
+    grid = shard_grid(manifest, config, backend)
     if len(manifest.entries) <= 1 or not grid:
-        return stream_analyze_file(path, config, chunk_records=size)
+        return stream_analyze_file(path, config, chunk_records=size, backend=backend)
 
     store = ShardTraceStore(path, manifest)
     outcomes = engine.run_grid_with_store(grid, store)
@@ -191,7 +195,7 @@ def shard_analyze_file(
         outcome.job.workload: outcome.result for outcome in outcomes
     }
 
-    fr = new_frontier(config, manifest.segments)
+    fr = new_frontier(config, manifest.segments, backend)
     for entry in manifest.entries:
         name = shard_workload_name(manifest.trace_digest, entry.index)
         summary = summaries.get(name)

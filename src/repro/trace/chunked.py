@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.isa.opclasses import OpClass
+from repro.trace import io as _io
 from repro.trace.columnar import ColumnarTrace
 from repro.trace.io import (
     _HEADER,
@@ -43,6 +44,7 @@ from repro.trace.io import (
     TraceFormatError,
     read_header,
     scan_columns,
+    scan_columns_fast,
 )
 from repro.trace.segments import SegmentMap
 
@@ -315,7 +317,7 @@ def decode_slice(
                 f"segment digest mismatch at {offset} in {path}: "
                 "file is stale or corrupted"
             )
-    columns = scan_columns(payload, count)
+    columns = scan_columns_fast(payload, count)
     return ColumnarTrace(*columns, segments, digest=digest)
 
 
@@ -388,33 +390,44 @@ def iter_chunks(
                 while start < count:
                     chunk_count = min(chunk_records, count - start)
                     chunk_offset = offset
-                    for _ in range(chunk_count):
+                    # Record heads (chunk-relative) collected during the
+                    # boundary walk feed the vectorized column gather below,
+                    # so numpy decode costs no second walk.
+                    heads = [0] * (chunk_count + 1)
+                    for position in range(chunk_count):
                         head = offset
                         if head + _HEAD_SIZE > size:
                             raise TraceFormatError("truncated record header")
+                        heads[position] = head - chunk_offset
                         offset = head + _HEAD_SIZE + 4 * (
                             payload[head + 2] + payload[head + 3]
                         )
                         if offset > size:
                             raise TraceFormatError("truncated record body")
-                    chunk_bytes = bytes(payload[chunk_offset:offset])
-                    hasher.update(chunk_bytes)
-                    start += chunk_count
-                    if start == count:
-                        if offset != size:
-                            raise TraceFormatError(
-                                f"record stream holds {size - offset} trailing "
-                                f"bytes after {count} records"
-                            )
-                        if hasher.hexdigest() != digest:
-                            raise TraceFormatError(
-                                f"trace digest mismatch in {path}: "
-                                "file is stale or corrupted"
-                            )
-                    obs.inc("trace_stream.chunks")
-                    yield ColumnarTrace(
-                        *scan_columns(chunk_bytes, chunk_count), segments
-                    )
+                    heads[chunk_count] = offset - chunk_offset
+                    chunk_view = payload[chunk_offset:offset]
+                    try:
+                        hasher.update(chunk_view)
+                        start += chunk_count
+                        if start == count:
+                            if offset != size:
+                                raise TraceFormatError(
+                                    f"record stream holds {size - offset} trailing "
+                                    f"bytes after {count} records"
+                                )
+                            if hasher.hexdigest() != digest:
+                                raise TraceFormatError(
+                                    f"trace digest mismatch in {path}: "
+                                    "file is stale or corrupted"
+                                )
+                        obs.inc("trace_stream.chunks")
+                        if _io._np is not None:
+                            columns = _io.gather_columns(chunk_view, heads, chunk_count)
+                        else:
+                            columns = scan_columns(bytes(chunk_view), chunk_count)
+                    finally:
+                        chunk_view.release()
+                    yield ColumnarTrace(*columns, segments)
             finally:
                 payload.release()
                 view.release()

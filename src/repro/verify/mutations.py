@@ -22,6 +22,13 @@ Mutations:
   level too shallow (``offset = floor - 1`` instead of the true floor at
   the cut). Caught by the exact-vs-sharded invariant on any case whose
   sharded run actually splices a summary with post-cut placements.
+- ``vkernel-batch-skew`` — the vectorized backend's block seeding skips
+  each frontier batch's first record (an off-by-one at the batch
+  boundary), so that record misses its floor term. Caught by the
+  cross-backend differential (``verify --focus backend``) on any case
+  where a block-leading record's placement binds on the floor. A no-op
+  when NumPy is absent — the backend falls back to the (unmutated)
+  python kernels, so no-numpy environments must skip this self-test.
 
 Both patch through module attributes that the call sites late-bind
 (``kernels._dispatch`` resolves ``_kernel_*`` as globals per call;
@@ -113,10 +120,28 @@ def mutate_stream_splice_skew():
         stream.splice = original
 
 
+@contextmanager
+def mutate_vkernel_batch_skew():
+    """The vectorized backend's seeding skips each batch's first record."""
+    from repro.core import vkernels
+
+    original = vkernels._seed_frontier_batch
+
+    def mutant(C, recs, base):
+        original(C, recs[1:], base[1:])
+
+    vkernels._seed_frontier_batch = mutant
+    try:
+        yield
+    finally:
+        vkernels._seed_frontier_batch = original
+
+
 MUTATIONS = {
     "kernel-load-skew": mutate_kernel_load_skew,
     "legacy-war-loss": mutate_legacy_war_loss,
     "stream-splice-skew": mutate_stream_splice_skew,
+    "vkernel-batch-skew": mutate_vkernel_batch_skew,
 }
 
 

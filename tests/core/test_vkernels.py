@@ -1,0 +1,362 @@
+"""Vectorized placement backend: eligibility, fallback, and bit-equality.
+
+``repro.core.vkernels`` is a fourth independent implementation of the
+placement semantics (after the legacy analyzer, the columnar kernels, and
+the readable reference), evaluating the rule over level-frontier batches
+with NumPy. It is an execution strategy, never semantics: every test here
+pins it field-for-field against the python kernels over the same traces
+and configurations, including mid-stream frontier handoffs where the two
+backends alternate batches of one analysis.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import vkernels
+from repro.core.analyzer import analyze
+from repro.core.config import CONSERVATIVE_DISAMBIGUATION, AnalysisConfig
+from repro.core.kernels import analyze_columnar
+from repro.core.resources import ResourceModel
+from repro.core.stream import advance, finalize, new_frontier
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.synthetic import TraceBuilder, random_trace
+
+requires_numpy = pytest.mark.skipif(
+    not vkernels.available(), reason="NumPy is not installed"
+)
+
+
+def assert_same_result(fast, slow):
+    """Field-for-field equality (profiles compare by counts)."""
+    assert fast.records_processed == slow.records_processed
+    assert fast.placed_operations == slow.placed_operations
+    assert fast.critical_path_length == slow.critical_path_length
+    assert fast.syscalls == slow.syscalls
+    assert fast.firewalls == slow.firewalls
+    assert fast.branches == slow.branches
+    assert fast.mispredictions == slow.mispredictions
+    assert fast.peak_live_well == slow.peak_live_well
+    if slow.profile is None:
+        assert fast.profile is None
+    else:
+        assert fast.profile.counts == slow.profile.counts
+    if slow.lifetimes is None:
+        assert fast.lifetimes is None
+    else:
+        assert fast.lifetimes.lifetime_histogram == slow.lifetimes.lifetime_histogram
+        assert fast.lifetimes.sharing_histogram == slow.lifetimes.sharing_histogram
+
+
+def columnar_trace(seed, length=400, **kwargs):
+    kwargs.setdefault("memory_words", 24)
+    kwargs.setdefault("syscall_fraction", 0.03)
+    return ColumnarTrace.from_buffer(
+        random_trace(seed=seed, length=length, **kwargs)
+    )
+
+
+class TestEligibility:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            AnalysisConfig(),
+            AnalysisConfig.no_renaming(),
+            AnalysisConfig(rename_stack=False),
+            AnalysisConfig(window_size=1),
+            AnalysisConfig(window_size=64),
+            AnalysisConfig(syscall_policy="optimistic"),
+            AnalysisConfig(collect_lifetimes=True),
+            AnalysisConfig(memory_disambiguation=CONSERVATIVE_DISAMBIGUATION),
+            AnalysisConfig(resources=ResourceModel()),  # unconstrained
+        ],
+    )
+    def test_eligible_configs(self, config):
+        assert vkernels.eligible(config)
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            AnalysisConfig(branch_predictor="bimodal"),
+            AnalysisConfig(branch_predictor="not-taken"),
+            AnalysisConfig(resources=ResourceModel(universal=2)),
+        ],
+    )
+    def test_sequential_features_are_ineligible(self, config):
+        assert not vkernels.eligible(config)
+
+
+class TestBackendValidation:
+    """An unknown backend string is a caller error everywhere, even when
+    NumPy is absent (validation precedes availability)."""
+
+    def test_analyze_rejects_unknown_backend(self, figure1_trace):
+        with pytest.raises(ValueError, match="unknown analysis backend"):
+            analyze(figure1_trace, AnalysisConfig(), backend="cuda")
+
+    def test_analyze_columnar_rejects_unknown_backend(self, figure1_trace):
+        columnar = ColumnarTrace.from_buffer(figure1_trace)
+        with pytest.raises(ValueError, match="unknown analysis backend"):
+            analyze_columnar(columnar, AnalysisConfig(), backend="cuda")
+
+    def test_new_frontier_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown analysis backend"):
+            new_frontier(AnalysisConfig(), backend="cuda")
+
+    def test_python_backend_is_always_valid(self, figure1_trace):
+        result = analyze(figure1_trace, AnalysisConfig(), backend="python")
+        assert result.records_processed == len(figure1_trace)
+
+
+class TestGracefulFallback:
+    """backend="numpy" silently degrades to the python loops whenever the
+    vectorized engine cannot run; results never change."""
+
+    def test_without_numpy_available_is_false(self, monkeypatch):
+        monkeypatch.setattr(vkernels, "_np", None)
+        assert not vkernels.available()
+
+    def test_without_numpy_analyze_falls_back(self, monkeypatch):
+        trace = columnar_trace(5, length=120)
+        expected = analyze_columnar(trace, AnalysisConfig())
+        monkeypatch.setattr(vkernels, "_np", None)
+        assert_same_result(
+            analyze_columnar(trace, AnalysisConfig(), backend="numpy"), expected
+        )
+        assert_same_result(
+            analyze(trace, AnalysisConfig(), backend="numpy"), expected
+        )
+
+    def test_without_numpy_advance_batch_declines(self, monkeypatch):
+        trace = columnar_trace(5, length=60)
+        monkeypatch.setattr(vkernels, "_np", None)
+        fr = new_frontier(AnalysisConfig(), trace.segments, backend="numpy")
+        assert not vkernels.advance_batch(fr, trace, 0, len(trace))
+        assert fr.records == 0  # untouched
+
+    def test_without_numpy_strict_entry_raises(self, monkeypatch):
+        trace = columnar_trace(5, length=60)
+        monkeypatch.setattr(vkernels, "_np", None)
+        with pytest.raises(RuntimeError, match="requires NumPy"):
+            vkernels.analyze_vectorized(trace, AnalysisConfig())
+
+    @requires_numpy
+    def test_ineligible_config_falls_back(self):
+        trace = columnar_trace(6, length=200, branch_fraction=0.2)
+        config = AnalysisConfig(branch_predictor="bimodal")
+        expected = analyze_columnar(trace, config)
+        assert_same_result(analyze_columnar(trace, config, backend="numpy"), expected)
+
+    @requires_numpy
+    def test_ineligible_config_strict_entry_raises(self):
+        trace = columnar_trace(6, length=60)
+        with pytest.raises(ValueError, match="not eligible"):
+            vkernels.analyze_vectorized(
+                trace, AnalysisConfig(branch_predictor="bimodal")
+            )
+
+    @requires_numpy
+    def test_ineligible_advance_batch_declines(self):
+        trace = columnar_trace(6, length=60)
+        config = AnalysisConfig(resources=ResourceModel(universal=2))
+        fr = new_frontier(config, trace.segments, backend="numpy")
+        assert not vkernels.advance_batch(fr, trace, 0, len(trace))
+        assert fr.records == 0
+
+
+#: The cross-backend grid: renaming lattice x window x syscall policy x
+#: disambiguation x lifetimes — every eligible kernel family and feature.
+ELIGIBLE_GRID = [
+    AnalysisConfig(syscall_policy=policy, window_size=window, **extra)
+    for policy in ("conservative", "optimistic")
+    for window in (None, 1, 7, 64)
+    for extra in (
+        {},
+        {"rename_registers": False, "rename_stack": False, "rename_data": False},
+        {"rename_stack": False},
+        {"memory_disambiguation": CONSERVATIVE_DISAMBIGUATION},
+        {"collect_lifetimes": True},
+    )
+]
+
+
+@requires_numpy
+class TestCrossBackendGrid:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_grid_identical_results(self, seed):
+        trace = columnar_trace(seed)
+        for config in ELIGIBLE_GRID:
+            assert vkernels.eligible(config), config.describe()
+            assert_same_result(
+                vkernels.analyze_vectorized(trace, config),
+                analyze_columnar(trace, config),
+            )
+
+    def test_profile_toggle(self):
+        trace = columnar_trace(4, length=250)
+        config = AnalysisConfig(collect_profile=False)
+        assert_same_result(
+            vkernels.analyze_vectorized(trace, config),
+            analyze_columnar(trace, config),
+        )
+
+    def test_wide_frontier_rounds(self):
+        """A trace wide enough to leave the scalar cascade and run the
+        wide numpy frontier rounds (> NARROW_FRONTIER independent ops)."""
+        builder = TraceBuilder()
+        for i in range(4 * vkernels.NARROW_FRONTIER):
+            builder.ialu(1 + (i % 60))
+        trace = ColumnarTrace.from_buffer(builder.build())
+        for config in (AnalysisConfig(), AnalysisConfig.no_renaming()):
+            assert_same_result(
+                vkernels.analyze_vectorized(trace, config),
+                analyze_columnar(trace, config),
+            )
+
+
+@requires_numpy
+class TestEdgeTraces:
+    def test_empty_trace(self):
+        trace = ColumnarTrace.from_buffer(TraceBuilder().build())
+        result = vkernels.analyze_vectorized(trace, AnalysisConfig())
+        assert result.records_processed == 0
+        assert_same_result(result, analyze_columnar(trace, AnalysisConfig()))
+
+    def test_syscall_only_trace(self):
+        builder = TraceBuilder()
+        builder.syscall()
+        builder.syscall()
+        trace = ColumnarTrace.from_buffer(builder.build())
+        for config in (
+            AnalysisConfig(),
+            AnalysisConfig(window_size=1),
+            AnalysisConfig(syscall_policy="optimistic"),
+        ):
+            assert_same_result(
+                vkernels.analyze_vectorized(trace, config),
+                analyze_columnar(trace, config),
+            )
+
+    def test_syscall_with_dests(self):
+        from repro.isa.opclasses import OpClass
+
+        builder = TraceBuilder()
+        builder.ialu(5)
+        builder.ialu(3, 5, 4)
+        builder.op(OpClass.SYSCALL, (5,))
+        builder.ialu(1, 5, 1)
+        trace = ColumnarTrace.from_buffer(builder.build())
+        for policy in ("conservative", "optimistic"):
+            config = AnalysisConfig(syscall_policy=policy)
+            assert_same_result(
+                vkernels.analyze_vectorized(trace, config),
+                analyze_columnar(trace, config),
+            )
+
+    def test_branchy_trace(self):
+        """Branches/jumps are never placed but still counted; with no
+        predictor they stay backend-eligible."""
+        trace = columnar_trace(9, length=300, branch_fraction=0.3)
+        for config in (AnalysisConfig(), AnalysisConfig(window_size=5)):
+            assert_same_result(
+                vkernels.analyze_vectorized(trace, config),
+                analyze_columnar(trace, config),
+            )
+
+
+@requires_numpy
+class TestAdvanceBatch:
+    """The streaming port: advance_batch must leave the frontier in exactly
+    the state the python loops would, so the two backends can alternate
+    batches of one analysis without changing its result."""
+
+    CONFIGS = [
+        AnalysisConfig(),
+        AnalysisConfig.no_renaming(),
+        AnalysisConfig(window_size=16),
+        AnalysisConfig(syscall_policy="optimistic", collect_lifetimes=True),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+    def test_numpy_batches_match_python(self, config):
+        trace = columnar_trace(7)
+        cuts = [0, 61, 250, len(trace)]
+        expected = finalize(
+            advance(new_frontier(config, trace.segments), trace)
+        )
+        fr = new_frontier(config, trace.segments, backend="numpy")
+        for lo, hi in zip(cuts, cuts[1:]):
+            advance(fr, trace, lo, hi)
+        assert_same_result(finalize(fr), expected)
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+    def test_backend_handoff_mid_stream(self, config):
+        """numpy for the first half of the records, python loops for the
+        second — the handoff state must be exact, not just the totals."""
+        trace = columnar_trace(8)
+        mid = len(trace) // 2
+        expected = finalize(
+            advance(new_frontier(config, trace.segments), trace)
+        )
+        fr = new_frontier(config, trace.segments, backend="numpy")
+        advance(fr, trace, 0, mid)
+        fr.backend = "python"
+        advance(fr, trace, mid, len(trace))
+        assert_same_result(finalize(fr), expected)
+
+    def test_non_buffer_columns_decline(self):
+        """Columns without a plain buffer (e.g. lists) bounce the batch
+        back to the python loops instead of crashing."""
+        trace = columnar_trace(7, length=40)
+        hollow = dataclasses.make_dataclass("Hollow", ["opclass"])(
+            opclass=list(trace.opclass)
+        )
+        fr = new_frontier(AnalysisConfig(), trace.segments, backend="numpy")
+        assert not vkernels.advance_batch(fr, hollow, 0, 40)
+        assert fr.records == 0
+
+
+@requires_numpy
+class TestIndexCache:
+    def test_index_reused_across_runs(self):
+        trace = columnar_trace(11, length=150)
+        vkernels.analyze_vectorized(trace, AnalysisConfig())
+        cached = dict(trace._vk_index)
+        assert cached
+        vkernels.analyze_vectorized(trace, AnalysisConfig(window_size=8))
+        for key, value in cached.items():
+            assert trace._vk_index[key] is value
+
+    def test_policy_keys_distinct(self):
+        trace = columnar_trace(11, length=150)
+        vkernels.analyze_vectorized(trace, AnalysisConfig())
+        vkernels.analyze_vectorized(
+            trace, AnalysisConfig(syscall_policy="optimistic")
+        )
+        assert len(trace._vk_index) == 2
+
+
+@requires_numpy
+class TestSharedMemoryColumns:
+    def test_shm_backed_trace_identical(self):
+        """memoryview-cast columns out of a shared-memory block feed the
+        same zero-copy frombuffer path as local arrays."""
+        local = columnar_trace(13, length=300)
+        shm = local.to_shared_memory()
+        try:
+            attached = ColumnarTrace.from_shared_memory(shm.name)
+            try:
+                for config in (
+                    AnalysisConfig(),
+                    AnalysisConfig.no_renaming(),
+                    AnalysisConfig(window_size=32),
+                ):
+                    assert_same_result(
+                        vkernels.analyze_vectorized(attached, config),
+                        analyze_columnar(local, config),
+                    )
+            finally:
+                attached.close()
+        finally:
+            shm.close()
+            shm.unlink()
